@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 1 (periodic streams of bt.9, process 3).
+
+Paper artefact: Figure 1a/1b — the sender and message-size streams received
+by process 3 of BT on 9 processes are periodic with period 18 and contain the
+three block sizes of the solver.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures_streams import figure1
+
+from .conftest import write_result
+
+
+def test_bench_figure1(benchmark, paper_context, results_dir):
+    paper_context.run_named("bt", 9)
+
+    result = benchmark(figure1, paper_context)
+
+    write_result(results_dir, "figure1.txt", result.render())
+
+    # The paper's headline observation: the sender stream repeats every 18
+    # messages (6 exchanges x 3 cells per process).
+    assert result.sender_period == 18
+    # The size stream is periodic as well (its minimal period divides 18).
+    assert result.size_period is not None
+    assert 18 % result.size_period == 0
+    # Three distinct point-to-point message sizes, as in Figure 1b.
+    assert result.distinct_sizes == (3240, 10240, 19440)
+    # A small set of sender processes (Table 1 reports 7 for bt.9).
+    assert 3 <= len(result.distinct_senders) <= 8

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 3 (logical-level prediction accuracy).
+
+Paper artefact: Figure 3 — predicting the next five senders and message sizes
+of the logical communication stream succeeds with accuracy above 90% for all
+benchmarks (IS at the smallest configuration is lower because the stream is
+very short relative to the predictor's learning phase).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures_accuracy import figure3
+
+from .conftest import bench_scale, write_result
+
+
+def test_bench_figure3(benchmark, paper_context, results_dir):
+    paper_context.run_all()
+
+    figure = benchmark.pedantic(figure3, args=(paper_context,), rounds=1, iterations=1)
+
+    write_result(results_dir, "figure3.txt", figure.render())
+
+    # At full (paper-like) stream lengths the logical accuracy clears 90%;
+    # at reduced benchmark scales the learning phase weighs more, so the
+    # acceptance floor adapts to the configured scale.
+    scale = bench_scale()
+    floor = 88.0 if (scale is None or scale >= 0.9) else 70.0
+    labels_below = [
+        config.label
+        for config in figure.configs
+        if not config.label.startswith("is.") and config.sender_accuracy[0] < floor
+    ]
+    assert not labels_below, f"logical sender accuracy below {floor}%: {labels_below}"
+
+    # The headline claim of the paper: mean logical accuracy is high for both
+    # streams and does not degrade across the five-step horizon.
+    assert figure.mean_accuracy("sender", 1) > 75.0
+    assert figure.mean_accuracy("size", 1) > 75.0
+    assert figure.mean_accuracy("sender", 5) > figure.mean_accuracy("sender", 1) - 5.0
+
+    # IS.4 is the paper's worst logical case (very short stream).
+    is4 = figure.config("is.4")
+    others = [c for c in figure.configs if c.label != "is.4"]
+    assert is4.sender_accuracy[0] <= max(c.sender_accuracy[0] for c in others)

@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Figure 4 (physical-level prediction accuracy).
+
+Paper artefact: Figure 4 — prediction of the physical communication stream is
+less accurate than the logical one because of timing randomness; LU and
+Sweep3D (few distinct senders) stay highly predictable, BT degrades, and IS
+(collective fan-in with arbitrary arrival order) is the hardest case.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures_accuracy import figure3, figure4
+
+from .conftest import write_result
+
+
+def test_bench_figure4(benchmark, paper_context, results_dir):
+    paper_context.run_all()
+
+    figure = benchmark.pedantic(figure4, args=(paper_context,), rounds=1, iterations=1)
+
+    write_result(results_dir, "figure4.txt", figure.render())
+
+    logical = figure3(paper_context)
+
+    # Physical accuracy never beats logical accuracy (averaged over configs).
+    assert figure.mean_accuracy("sender", 1) <= logical.mean_accuracy("sender", 1) + 1e-9
+
+    # Per-configuration: the physical sender stream is at most marginally more
+    # predictable than the logical one.
+    for config in figure.configs:
+        logical_config = logical.config(config.label)
+        assert config.sender_accuracy[0] <= logical_config.sender_accuracy[0] + 5.0
+
+    # The paper's qualitative ordering: IS (collective fan-in) is the hardest
+    # physical case; LU and Sweep3D remain comparatively predictable.
+    def mean_for(prefix: str) -> float:
+        values = [
+            c.sender_accuracy[0] for c in figure.configs if c.label.startswith(prefix)
+        ]
+        return sum(values) / len(values)
+
+    assert mean_for("is.") < mean_for("lu.")
+    assert mean_for("is.") < mean_for("sw.")
+    assert mean_for("is.") < mean_for("cg.")
+
+    # Size streams have only a few distinct values, which "hide the random
+    # effects" (Section 5.2): size prediction stays easier than sender
+    # prediction at the physical level on average.
+    assert figure.mean_accuracy("size", 1) >= figure.mean_accuracy("sender", 1) - 2.0

@@ -1,0 +1,137 @@
+"""Microbenchmarks of the predictor and the simulator hot paths.
+
+These are not paper artefacts; they document the runtime cost of the pieces a
+real MPI library would embed (the paper stresses that "to have a small
+overhead is important since prediction has to be done at runtime") and the
+throughput of the simulation substrate itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.dpd import DynamicPeriodicityDetector
+from repro.core.evaluation import evaluate_stream
+from repro.core.predictor import PeriodicityPredictor
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkConfig
+from repro.workloads.registry import create_workload
+from repro.workloads.runner import run_workload
+
+PATTERN = [1, 2, 5, 7, 9, 1, 2, 5, 7, 9, 1, 2, 5, 7, 9, 1, 2, 5] * 200  # period 18
+
+
+class TestPredictorMicrobenchmarks:
+    def test_bench_dpd_observe_detect(self, benchmark):
+        """Cost of one observe+detect cycle (the per-message runtime overhead)."""
+
+        detector = DynamicPeriodicityDetector(window_size=24, max_period=256)
+        stream = itertools.cycle(PATTERN)
+
+        def step():
+            detector.observe(next(stream))
+            return detector.detect()
+
+        result = benchmark(step)
+        assert result is not None
+
+    def test_bench_predictor_observe_predict(self, benchmark):
+        """Cost of one observe+predict(5) cycle of the full predictor."""
+
+        predictor = PeriodicityPredictor(window_size=24, max_period=256)
+        stream = itertools.cycle(PATTERN)
+
+        def step():
+            predictor.observe(next(stream))
+            return predictor.predict(5)
+
+        predictions = benchmark(step)
+        assert len(predictions) == 5
+
+    def test_bench_evaluate_stream_throughput(self, benchmark):
+        """Whole-stream offline evaluation (used by Figures 3 and 4)."""
+
+        stream = np.array(PATTERN, dtype=np.int64)
+
+        def run():
+            return evaluate_stream(
+                stream,
+                lambda: PeriodicityPredictor(window_size=24, max_period=256),
+                horizon=5,
+            )
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.accuracy(1) > 0.9
+
+    def test_bench_dpd_distance_computation(self, benchmark):
+        """The vectorised equation-(1) distance scan in isolation."""
+
+        detector = DynamicPeriodicityDetector(window_size=64, max_period=256)
+        for value in PATTERN[: 64 + 256]:
+            detector.observe(value)
+
+        distances = benchmark(detector.distances)
+        assert distances.size == 256
+
+
+class TestSimulatorMicrobenchmarks:
+    def test_bench_pingpong_round(self, benchmark):
+        """Simulated events per ping-pong round (engine + transport overhead)."""
+
+        def simulate():
+            def program(ctx):
+                comm = ctx.comm
+                other = 1 - ctx.rank
+                for i in range(200):
+                    if ctx.rank == 0:
+                        yield comm.send(other, 1024, tag=i % 8)
+                        yield comm.recv(source=other, tag=i % 8)
+                    else:
+                        yield comm.recv(source=other, tag=i % 8)
+                        yield comm.send(other, 1024, tag=i % 8)
+
+            simulator = Simulator(nprocs=2, seed=1, network=NetworkConfig(seed=1))
+            return simulator.run([program])
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.messages_sent == 400
+
+    def test_bench_alltoall_fanin(self, benchmark):
+        """Collective fan-in cost (pairwise alltoall on 16 ranks)."""
+
+        def simulate():
+            def program(ctx):
+                for _ in range(5):
+                    yield from ctx.comm.alltoall(2048)
+
+            simulator = Simulator(nprocs=16, seed=1, network=NetworkConfig(seed=1))
+            return simulator.run([program])
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.collective_messages == 5 * 16 * 15
+
+    def test_bench_bt9_simulation(self, benchmark):
+        """End-to-end simulation throughput of a small BT run."""
+
+        def simulate():
+            workload = create_workload("bt", nprocs=9, scale=0.05)
+            return run_workload(workload, seed=1)
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.messages_sent > 0
+
+    @pytest.mark.parametrize("window", [16, 64, 256])
+    def test_bench_dpd_window_scaling(self, benchmark, window):
+        """How the per-observation cost scales with the DPD window size."""
+
+        detector = DynamicPeriodicityDetector(window_size=window, max_period=window)
+        stream = itertools.cycle(PATTERN)
+
+        def step():
+            detector.observe(next(stream))
+            return detector.detect()
+
+        benchmark(step)

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table 1 (benchmark message-stream characteristics).
+
+Paper artefact: Table 1, "MPI applications used for this study".
+The simulations are produced once by the session fixture; the benchmarked
+function measures the trace summarisation over all 19 configurations and the
+shape assertions check the regenerated table against the paper's rows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.table1 import build_table1, render_table1
+
+from .conftest import write_result
+
+
+def test_bench_table1(benchmark, paper_context, results_dir):
+    # Warm the simulation cache outside the measured region.
+    paper_context.run_all()
+
+    rows = benchmark(build_table1, paper_context)
+
+    write_result(results_dir, "table1.txt", render_table1(rows))
+    by_label = {row.label: row for row in rows}
+
+    # Structural agreement with the paper's Table 1.
+    assert len(rows) == 19
+    # CG has no collective messages; IS is dominated by them.
+    for nprocs in (4, 8, 16, 32):
+        assert by_label[f"cg.{nprocs}"].collective_messages == 0
+        assert by_label[f"is.{nprocs}"].collective_messages > by_label[f"is.{nprocs}"].p2p_messages
+    # A handful of distinct message sizes and senders everywhere (except IS,
+    # where every rank is a sender).
+    for label, row in by_label.items():
+        assert row.num_sizes <= 5
+        if not label.startswith("is."):
+            assert row.num_senders <= 8
+    # IS receives from (almost) every peer.
+    assert by_label["is.32"].num_senders >= 24
+    # Message counts grow with the process count within BT (6*sqrt(P) per iteration).
+    assert (
+        by_label["bt.4"].p2p_messages
+        < by_label["bt.9"].p2p_messages
+        < by_label["bt.16"].p2p_messages
+        < by_label["bt.25"].p2p_messages
+    )
+    # LU produces by far the most point-to-point messages, as in the paper.
+    assert by_label["lu.4"].p2p_messages > by_label["bt.25"].p2p_messages

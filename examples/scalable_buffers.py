@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Section 2 what-if: prediction-driven buffers, credits and fast long messages.
+
+The paper motivates message prediction with three scalability problems of
+standard MPI runtimes.  This example runs the corresponding what-if
+experiments on the simulated runtime and prints the comparison the paper only
+sketches:
+
+* **memory reduction** — per-peer eager buffers for all peers vs only for the
+  predicted senders (NAS BT, 16 processes);
+* **bounded unexpected-message exposure** — unsolicited eager fan-in vs
+  prediction-granted credits (collective-storm workload, 16 processes);
+* **fast path for long messages** — rendezvous for every long message vs a
+  predictive bypass (ring exchange with 32 KB messages).
+
+Run with::
+
+    python examples/scalable_buffers.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.extensions import (
+    credit_flow_experiment,
+    memory_reduction_experiment,
+    rendezvous_bypass_experiment,
+)
+
+
+def show(title: str, outcome: dict, highlights: list[str]) -> None:
+    print(title)
+    print("-" * len(title))
+    for key in highlights:
+        value = outcome[key]
+        if isinstance(value, float):
+            value = f"{value:.3g}"
+        print(f"  {key:40s} {value}")
+    print()
+
+
+def main() -> None:
+    memory = memory_reduction_experiment(workload_name="bt", nprocs=16, scale=0.25, seed=2003)
+    show(
+        "Section 2.1 — eager buffer memory per process",
+        memory,
+        [
+            "baseline_buffer_bytes_per_rank",
+            "predictive_peak_buffer_bytes_per_rank",
+            "memory_reduction_factor",
+            "eager_hits",
+            "eager_misses",
+            "slowdown",
+        ],
+    )
+
+    credits = credit_flow_experiment(nprocs=16, scale=1.0, seed=2003)
+    show(
+        "Section 2.2 — unexpected-message exposure under collective fan-in",
+        credits,
+        [
+            "baseline_unexpected_deliveries",
+            "predictive_unexpected_deliveries",
+            "max_outstanding_credit_bytes",
+            "credit_cap_bytes",
+            "eager_granted",
+            "eager_denied",
+            "slowdown",
+        ],
+    )
+
+    rendezvous = rendezvous_bypass_experiment(
+        workload_name="ring-exchange", nprocs=8, scale=1.0, seed=2003
+    )
+    show(
+        "Section 2.3 — long messages on the fast path",
+        rendezvous,
+        [
+            "baseline_rendezvous_messages",
+            "predictive_rendezvous_messages",
+            "bypassed_long_messages",
+            "bypass_rate",
+            "baseline_mean_rendezvous_latency",
+            "predictive_mean_eager_latency",
+            "speedup_vs_baseline",
+        ],
+    )
+
+    print(
+        "Interpretation: the predictive runtime needs buffers only for the senders\n"
+        "it actually hears from, keeps the receiver's unexpected-message exposure\n"
+        "bounded by the outstanding credit, and moves predicted long messages onto\n"
+        "the eager fast path — at the price of a slow first iteration while the\n"
+        "periodicity detector is still learning (the 'misses'/'denied' counters)."
+    )
+
+
+if __name__ == "__main__":
+    main()

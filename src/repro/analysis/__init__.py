@@ -1,0 +1,72 @@
+"""Reproduction harness for the paper's table and figures.
+
+Every table/figure of the paper's evaluation has a function here that
+regenerates it as data plus a plain-text rendering:
+
+* :func:`repro.analysis.table1.build_table1` — Table 1 (benchmark
+  characteristics).
+* :func:`repro.analysis.figures_streams.figure1` — Figure 1 (periodic sender
+  and size streams of bt.9, process 3).
+* :func:`repro.analysis.figures_streams.figure2` — Figure 2 (logical vs
+  physical sender stream of bt.4, process 3).
+* :func:`repro.analysis.figures_accuracy.figure3` — Figure 3 (logical-level
+  prediction accuracy, +1 … +5).
+* :func:`repro.analysis.figures_accuracy.figure4` — Figure 4 (physical-level
+  prediction accuracy).
+* :mod:`repro.analysis.extensions` — the Section 2 what-if experiments
+  (memory reduction, credit flow control, rendezvous bypass).
+* :mod:`repro.analysis.ablations` — sensitivity studies (DPD window, network
+  jitter, predictor vs baselines, ordered vs unordered accuracy).
+
+Simulations are memoised per configuration in an :class:`ExperimentContext`
+so that regenerating the whole evaluation runs each application/process-count
+combination exactly once.
+"""
+
+from repro.analysis.ablations import (
+    baseline_comparison,
+    jitter_sensitivity,
+    unordered_accuracy_study,
+    window_size_sweep,
+)
+from repro.analysis.experiments import ExperimentContext
+from repro.analysis.extensions import (
+    credit_flow_experiment,
+    memory_reduction_experiment,
+    rendezvous_bypass_experiment,
+)
+from repro.analysis.figures_accuracy import AccuracyFigure, figure3, figure4
+from repro.analysis.figures_streams import Figure1Result, Figure2Result, figure1, figure2
+from repro.analysis.report import ReproductionReport, build_report
+from repro.analysis.scaling import (
+    project_buffer_memory,
+    project_unexpected_exposure,
+    working_set_from_run,
+)
+from repro.analysis.table1 import Table1Row, build_table1, render_table1
+
+__all__ = [
+    "ReproductionReport",
+    "build_report",
+    "project_buffer_memory",
+    "project_unexpected_exposure",
+    "working_set_from_run",
+    "ExperimentContext",
+    "Table1Row",
+    "build_table1",
+    "render_table1",
+    "Figure1Result",
+    "Figure2Result",
+    "figure1",
+    "figure2",
+    "AccuracyFigure",
+    "figure3",
+    "figure4",
+    "memory_reduction_experiment",
+    "credit_flow_experiment",
+    "rendezvous_bypass_experiment",
+    "window_size_sweep",
+    "jitter_sensitivity",
+    "baseline_comparison",
+    "unordered_accuracy_study",
+]

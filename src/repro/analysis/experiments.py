@@ -1,0 +1,101 @@
+"""Experiment context: memoised simulation runs for the paper's configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import SimulationResult
+from repro.sim.network import NetworkConfig
+from repro.workloads.base import Workload
+from repro.workloads.registry import PaperConfiguration, create_workload, paper_configurations
+from repro.workloads.runner import run_workload
+
+__all__ = ["ExperimentRun", "ExperimentContext"]
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One simulated configuration: the workload instance and its result."""
+
+    configuration: PaperConfiguration
+    workload: Workload
+    result: SimulationResult
+
+    @property
+    def label(self) -> str:
+        """Figure label, e.g. ``bt.9``."""
+        return self.configuration.label
+
+    @property
+    def representative_rank(self) -> int:
+        """The receiving rank whose streams are analysed."""
+        return self.workload.representative_rank()
+
+    def logical_records(self, rank: int | None = None):
+        """Logical trace records of the representative (or given) rank."""
+        return self.result.trace_for(self.representative_rank if rank is None else rank).logical
+
+    def physical_records(self, rank: int | None = None):
+        """Physical trace records of the representative (or given) rank."""
+        return self.result.trace_for(self.representative_rank if rank is None else rank).physical
+
+
+@dataclass
+class ExperimentContext:
+    """Runs and caches the simulations behind Table 1 and Figures 1-4.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for all simulations (per-rank and network streams are
+        derived from it).
+    scale:
+        Optional global override of the per-application run scale.  ``None``
+        uses the registry defaults (class-A-like volumes, LU reduced); small
+        values such as ``0.05`` give quick smoke runs for tests.
+    network:
+        Optional network configuration override (the jitter ablation passes
+        modified configurations).
+    """
+
+    seed: int = 2003
+    scale: float | None = None
+    network: NetworkConfig | None = None
+    _cache: dict[tuple[str, int], ExperimentRun] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def configurations(self) -> list[PaperConfiguration]:
+        """The 19 paper configurations at this context's scale."""
+        return paper_configurations(scale=self.scale)
+
+    def run(self, configuration: PaperConfiguration) -> ExperimentRun:
+        """Run (or fetch from cache) one configuration."""
+        key = (configuration.workload, configuration.nprocs)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        workload = create_workload(
+            configuration.workload, configuration.nprocs, scale=configuration.scale
+        )
+        network = self.network if self.network is not None else NetworkConfig(seed=self.seed)
+        result = run_workload(workload, seed=self.seed, network=network)
+        run = ExperimentRun(configuration=configuration, workload=workload, result=result)
+        self._cache[key] = run
+        return run
+
+    def run_named(self, workload: str, nprocs: int) -> ExperimentRun:
+        """Run (or fetch) a configuration identified by name and size."""
+        for configuration in self.configurations():
+            if configuration.workload == workload and configuration.nprocs == nprocs:
+                return self.run(configuration)
+        # Not one of the 19 paper cells: build an ad-hoc configuration.
+        scale = self.scale if self.scale is not None else 1.0
+        return self.run(PaperConfiguration(workload=workload, nprocs=nprocs, scale=scale))
+
+    def run_all(self) -> list[ExperimentRun]:
+        """Run every paper configuration (cached) and return them in order."""
+        return [self.run(configuration) for configuration in self.configurations()]
+
+    def clear(self) -> None:
+        """Drop all cached runs."""
+        self._cache.clear()

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Simulate one workload configuration, print runtime statistics and
+    optionally save the two-level traces to a JSON-lines file.
+``predict``
+    Load a saved trace file (or simulate on the fly) and evaluate the
+    paper's predictor on the sender/size streams of one rank.
+``table1``
+    Regenerate Table 1 (benchmark message-stream characteristics).
+``report``
+    Regenerate the full measured-vs-paper report (Table 1, Figures 1-4,
+    extensions, ablations) — the content of EXPERIMENTS.md.
+``list``
+    List the available workloads and the paper's 19 configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import ExperimentContext
+from repro.analysis.report import build_report
+from repro.analysis.table1 import build_table1, render_table1
+from repro.core.evaluation import evaluate_stream
+from repro.core.predictor import PeriodicityPredictor
+from repro.sim.network import NetworkConfig
+from repro.trace.io import load_traces, save_traces
+from repro.trace.streams import sender_stream, size_stream, summarize_stream
+from repro.util.text import ascii_table
+from repro.workloads.registry import create_workload, paper_configurations, workload_names
+from repro.workloads.runner import run_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploring the Predictability of MPI Messages' (IPDPS 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="simulate one workload configuration")
+    run_cmd.add_argument("workload", choices=workload_names())
+    run_cmd.add_argument("--nprocs", type=int, required=True)
+    run_cmd.add_argument("--scale", type=float, default=1.0)
+    run_cmd.add_argument("--seed", type=int, default=2003)
+    run_cmd.add_argument("--jitter", type=float, default=None, help="network jitter sigma override")
+    run_cmd.add_argument("--save-traces", type=str, default=None, metavar="FILE")
+
+    predict_cmd = sub.add_parser("predict", help="evaluate the predictor on a stream")
+    predict_cmd.add_argument("--traces", type=str, default=None, help="trace file from 'run --save-traces'")
+    predict_cmd.add_argument("--workload", choices=workload_names(), default=None)
+    predict_cmd.add_argument("--nprocs", type=int, default=None)
+    predict_cmd.add_argument("--scale", type=float, default=1.0)
+    predict_cmd.add_argument("--seed", type=int, default=2003)
+    predict_cmd.add_argument("--rank", type=int, default=None)
+    predict_cmd.add_argument("--level", choices=["logical", "physical"], default="logical")
+    predict_cmd.add_argument("--horizon", type=int, default=5)
+    predict_cmd.add_argument("--window", type=int, default=24)
+    predict_cmd.add_argument("--max-period", type=int, default=256)
+
+    table_cmd = sub.add_parser("table1", help="regenerate Table 1")
+    table_cmd.add_argument("--scale", type=float, default=None)
+    table_cmd.add_argument("--seed", type=int, default=2003)
+
+    report_cmd = sub.add_parser("report", help="regenerate the full reproduction report")
+    report_cmd.add_argument("--scale", type=float, default=None)
+    report_cmd.add_argument("--seed", type=int, default=2003)
+    report_cmd.add_argument("--output", type=str, default=None)
+    report_cmd.add_argument("--skip-extensions", action="store_true")
+    report_cmd.add_argument("--skip-ablations", action="store_true")
+
+    sub.add_parser("list", help="list workloads and paper configurations")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    workload = create_workload(args.workload, nprocs=args.nprocs, scale=args.scale)
+    network = NetworkConfig(seed=args.seed)
+    if args.jitter is not None:
+        network = network.with_overrides(jitter_sigma=args.jitter)
+    result = run_workload(workload, seed=args.seed, network=network)
+    summary = result.stats.summary()
+    print(ascii_table(["metric", "value"], sorted(summary.items()), title=f"{workload!r}"))
+    rank = workload.representative_rank()
+    stream_summary = summarize_stream(result.trace_for(rank).logical)
+    print(
+        f"\nrepresentative rank {rank}: {stream_summary.total_messages} messages, "
+        f"{stream_summary.num_distinct_senders} senders, "
+        f"{stream_summary.num_distinct_sizes} sizes"
+    )
+    if args.save_traces:
+        count = save_traces(
+            result.tracer,
+            args.save_traces,
+            metadata={
+                "workload": args.workload,
+                "nprocs": args.nprocs,
+                "scale": args.scale,
+                "seed": args.seed,
+            },
+        )
+        print(f"saved {count} trace records to {args.save_traces}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    if args.traces:
+        traces, metadata = load_traces(args.traces)
+        rank = args.rank if args.rank is not None else 0
+        if not (0 <= rank < len(traces)):
+            print(f"rank {rank} out of range for trace file with {len(traces)} ranks", file=sys.stderr)
+            return 2
+        records = traces[rank].logical if args.level == "logical" else traces[rank].physical
+        label = f"{metadata.get('workload', 'trace')} (rank {rank}, {args.level})"
+    elif args.workload and args.nprocs:
+        workload = create_workload(args.workload, nprocs=args.nprocs, scale=args.scale)
+        result = run_workload(workload, seed=args.seed)
+        rank = args.rank if args.rank is not None else workload.representative_rank()
+        trace = result.trace_for(rank)
+        records = trace.logical if args.level == "logical" else trace.physical
+        label = f"{args.workload}.{args.nprocs} (rank {rank}, {args.level})"
+    else:
+        print("predict requires either --traces FILE or --workload/--nprocs", file=sys.stderr)
+        return 2
+
+    factory = lambda: PeriodicityPredictor(window_size=args.window, max_period=args.max_period)
+    rows = []
+    for name, stream in (("sender", sender_stream(records)), ("size", size_stream(records))):
+        outcome = evaluate_stream(stream, factory, horizon=args.horizon)
+        rows.append([name] + [f"{100 * a:.1f}%" for a in outcome.accuracies()])
+    headers = ["stream"] + [f"+{k}" for k in range(1, args.horizon + 1)]
+    print(ascii_table(headers, rows, title=f"prediction accuracy — {label}"))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    context = ExperimentContext(seed=args.seed, scale=args.scale)
+    print(render_table1(build_table1(context)))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    report = build_report(
+        seed=args.seed,
+        scale=args.scale,
+        include_extensions=not args.skip_extensions,
+        include_ablations=not args.skip_ablations,
+    )
+    text = report.render()
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("available workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("\npaper configurations (Table 1):")
+    rows = [
+        [config.label, config.workload, config.nprocs, config.scale]
+        for config in paper_configurations()
+    ]
+    print(ascii_table(["label", "workload", "nprocs", "default scale"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "predict": _cmd_predict,
+    "table1": _cmd_table1,
+    "report": _cmd_report,
+    "list": _cmd_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

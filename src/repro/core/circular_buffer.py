@@ -1,0 +1,89 @@
+"""Fixed-capacity circular buffer backed by a NumPy array.
+
+The paper notes that the predictor is implemented "with circular lists, which
+reduces the overhead of the predictor" since prediction happens at runtime
+inside the MPI library.  This class is that structure: appends are O(1), no
+memory is allocated after construction, and a chronological view of the
+contents is materialised only when the detector actually needs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CircularBuffer"]
+
+
+class CircularBuffer:
+    """A fixed-capacity ring of int64 values.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of values retained.  Once full, each append overwrites
+        the oldest value.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._data = np.zeros(self.capacity, dtype=np.int64)
+        self._head = 0  # index where the next value will be written
+        self._count = 0
+        self.total_appended = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        """Whether the buffer holds ``capacity`` values."""
+        return self._count == self.capacity
+
+    def append(self, value: int) -> None:
+        """Append one value, overwriting the oldest when full."""
+        self._data[self._head] = int(value)
+        self._head = (self._head + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+        self.total_appended += 1
+
+    def extend(self, values) -> None:
+        """Append every value in ``values`` in order."""
+        for value in values:
+            self.append(value)
+
+    def clear(self) -> None:
+        """Remove all values and reset the append counter (capacity unchanged)."""
+        self._head = 0
+        self._count = 0
+        self.total_appended = 0
+
+    def to_array(self) -> np.ndarray:
+        """Return the contents in chronological order (oldest first)."""
+        if self._count < self.capacity:
+            return self._data[: self._count].copy()
+        return np.concatenate((self._data[self._head :], self._data[: self._head]))
+
+    def __getitem__(self, index: int) -> int:
+        """Chronological indexing: 0 is the oldest value, -1 the newest."""
+        if not -self._count <= index < self._count:
+            raise IndexError(f"index {index} out of range for length {self._count}")
+        if index < 0:
+            index += self._count
+        if self._count < self.capacity:
+            return int(self._data[index])
+        return int(self._data[(self._head + index) % self.capacity])
+
+    def last(self, n: int) -> np.ndarray:
+        """Return the most recent ``n`` values in chronological order."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        n = min(n, self._count)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.to_array()[-n:]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircularBuffer(capacity={self.capacity}, len={self._count})"

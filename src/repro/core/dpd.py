@@ -1,0 +1,154 @@
+"""The Dynamic Periodicity Detector (equation 1 of the paper).
+
+For a window of the last ``N`` stream samples and a candidate delay
+``m`` (``0 < m < M``, ``M <= N``), the detector computes
+
+.. math::
+
+    d(m) = \\sum_{i=0}^{N-1} \\mathrm{sign}\\bigl(\\lvert x[i] - x[i-m] \\rvert\\bigr)
+
+i.e. the number of positions at which the window differs from itself shifted
+by ``m``.  ``d(m) = 0`` means the window repeats exactly with period ``m``.
+The smallest such ``m`` is reported as the stream's periodicity.
+
+The detector keeps ``N + M`` samples of history in a
+:class:`repro.core.circular_buffer.CircularBuffer` (the shifted comparison
+needs ``M`` samples before the window) and evaluates all candidate delays
+with one vectorised NumPy comparison, following the hpc-parallel guide's
+advice to vectorise the hot loop rather than iterating in Python.
+
+A tolerance knob allows "almost periodic" windows (useful for the noisy
+physical-level streams): a delay is accepted when at most
+``mismatch_tolerance`` positions differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.circular_buffer import CircularBuffer
+
+__all__ = ["PeriodicityResult", "DynamicPeriodicityDetector"]
+
+
+@dataclass(frozen=True)
+class PeriodicityResult:
+    """Outcome of one periodicity query.
+
+    Attributes
+    ----------
+    period:
+        Detected periodicity (smallest accepted delay), or ``None`` when no
+        delay satisfied the acceptance criterion.
+    distances:
+        Array of ``d(m)`` values for ``m = 1 .. max_period`` (index ``m-1``).
+        Empty when there was not yet enough history to evaluate any delay.
+    samples_seen:
+        Total number of samples observed when the query was made.
+    """
+
+    period: int | None
+    distances: np.ndarray
+    samples_seen: int
+
+    @property
+    def periodic(self) -> bool:
+        """Whether a periodicity was detected."""
+        return self.period is not None
+
+
+class DynamicPeriodicityDetector:
+    """Online DPD over an integer-valued stream.
+
+    Parameters
+    ----------
+    window_size:
+        ``N`` in equation (1): how many recent samples form the comparison
+        window.
+    max_period:
+        ``M`` in equation (1): the largest delay evaluated.  Defaults to
+        ``window_size``.  The paper constrains ``M <= N``; this implementation
+        also allows ``M > N`` (a short comparison window replayed against a
+        longer history), which detects long periods — such as a whole
+        Sweep3D octant cycle — without paying the noise sensitivity of an
+        equally long comparison window.
+    mismatch_tolerance:
+        A delay ``m`` is accepted when ``d(m) <= mismatch_tolerance``.  The
+        paper uses an exact match (tolerance 0), which is the default.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 64,
+        max_period: int | None = None,
+        mismatch_tolerance: int = 0,
+    ) -> None:
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        if max_period is None:
+            max_period = window_size
+        if max_period < 1:
+            raise ValueError(f"max_period must be at least 1, got {max_period}")
+        if mismatch_tolerance < 0:
+            raise ValueError(
+                f"mismatch_tolerance must be non-negative, got {mismatch_tolerance}"
+            )
+        self.window_size = int(window_size)
+        self.max_period = int(max_period)
+        self.mismatch_tolerance = int(mismatch_tolerance)
+        self._history = CircularBuffer(self.window_size + self.max_period)
+
+    # ------------------------------------------------------------------
+    @property
+    def samples_seen(self) -> int:
+        """Total number of samples observed so far."""
+        return self._history.total_appended
+
+    def observe(self, value: int) -> None:
+        """Feed one stream sample to the detector."""
+        self._history.append(int(value))
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._history.clear()
+
+    # ------------------------------------------------------------------
+    def distances(self) -> np.ndarray:
+        """Compute ``d(m)`` for every evaluable delay ``m = 1 .. max_period``.
+
+        Delays for which there is not yet enough history are omitted: with
+        ``L`` samples of history, only delays ``m <= L - window_size`` can be
+        evaluated (the window always uses the most recent ``window_size``
+        samples).  The returned array has one entry per delay starting at
+        ``m=1``; it is empty while ``L <= window_size``.
+        """
+        history = self._history.to_array()
+        length = history.shape[0]
+        usable_delays = min(self.max_period, length - self.window_size)
+        if usable_delays < 1:
+            return np.empty(0, dtype=np.int64)
+        window = history[-self.window_size :]
+        # windows[k] = history[k : k + window_size]; the window shifted by m is
+        # windows[length - window_size - m].
+        windows = np.lib.stride_tricks.sliding_window_view(history, self.window_size)
+        base_index = length - self.window_size
+        shifted = windows[base_index - usable_delays : base_index][::-1]
+        return np.count_nonzero(shifted != window[np.newaxis, :], axis=1).astype(np.int64)
+
+    def detect(self) -> PeriodicityResult:
+        """Return the current periodicity decision (smallest accepted delay)."""
+        distances = self.distances()
+        period: int | None = None
+        if distances.size:
+            accepted = np.nonzero(distances <= self.mismatch_tolerance)[0]
+            if accepted.size:
+                period = int(accepted[0]) + 1
+        return PeriodicityResult(
+            period=period, distances=distances, samples_seen=self.samples_seen
+        )
+
+    def history(self) -> np.ndarray:
+        """Chronological copy of the retained history (for prediction replay)."""
+        return self._history.to_array()

@@ -1,0 +1,146 @@
+"""Multi-step MPI message stream predictor built on the periodicity detector.
+
+The paper's prediction scheme (Section 4.2): detect the periodicity ``m`` of
+the data stream with the DPD, then predict the next several values by
+replaying the last period — the value expected ``k`` steps in the future is
+the value observed ``m - k`` steps in the past (modulo the period).  Because
+a whole period is known, *several* future values can be predicted at once,
+which is exactly what distinguishes this predictor from the single-step
+heuristics in the related work.
+
+All predictors in this package share the :class:`BasePredictor` interface so
+that the evaluation harness and the ablation benchmarks can swap them freely:
+
+* :meth:`BasePredictor.observe` — feed the next observed stream value;
+* :meth:`BasePredictor.predict` — return predictions for the next ``horizon``
+  values (``None`` entries mean "no prediction").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.dpd import DynamicPeriodicityDetector
+
+__all__ = ["BasePredictor", "PeriodicityPredictor"]
+
+
+class BasePredictor:
+    """Common interface of every stream predictor."""
+
+    #: Short name used in benchmark output.
+    name: str = "base"
+
+    def observe(self, value: int) -> None:
+        """Feed one observed stream value."""
+        raise NotImplementedError
+
+    def predict(self, horizon: int = 1) -> list[Optional[int]]:
+        """Predict the next ``horizon`` values.
+
+        Entry ``k`` of the returned list is the prediction for the value that
+        will be observed ``k+1`` observations from now (the paper's ``+1`` …
+        ``+horizon``).  ``None`` means the predictor declines to predict that
+        position (for example, no periodicity detected yet).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all learned state."""
+        raise NotImplementedError
+
+    def observe_many(self, values: Sequence[int]) -> None:
+        """Feed a sequence of values in order."""
+        for value in values:
+            self.observe(value)
+
+
+class PeriodicityPredictor(BasePredictor):
+    """The paper's predictor: DPD periodicity detection + period replay.
+
+    Parameters
+    ----------
+    window_size:
+        DPD comparison window ``N``.
+    max_period:
+        Largest periodicity considered (defaults to ``window_size``).
+    mismatch_tolerance:
+        Forwarded to the DPD; 0 reproduces the paper's exact-match detector.
+    sticky:
+        If True (default), the most recently detected period keeps being used
+        for prediction even when the current window momentarily loses exact
+        periodicity (e.g. one perturbed sample at the physical level).  If
+        False, the predictor declines to predict whenever the current window
+        is not exactly periodic.
+    """
+
+    name = "periodicity"
+
+    def __init__(
+        self,
+        window_size: int = 64,
+        max_period: int | None = None,
+        mismatch_tolerance: int = 0,
+        sticky: bool = True,
+    ) -> None:
+        self._dpd = DynamicPeriodicityDetector(
+            window_size=window_size,
+            max_period=max_period,
+            mismatch_tolerance=mismatch_tolerance,
+        )
+        self.sticky = bool(sticky)
+        self._last_period: int | None = None
+        self.detections = 0
+        self.period_changes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def window_size(self) -> int:
+        """The DPD comparison window size."""
+        return self._dpd.window_size
+
+    @property
+    def current_period(self) -> int | None:
+        """The period currently used for prediction (after stickiness)."""
+        return self._last_period
+
+    @property
+    def samples_seen(self) -> int:
+        """Number of values observed so far."""
+        return self._dpd.samples_seen
+
+    # ------------------------------------------------------------------
+    def observe(self, value: int) -> None:
+        self._dpd.observe(value)
+        result = self._dpd.detect()
+        if result.periodic:
+            self.detections += 1
+            if result.period != self._last_period:
+                self.period_changes += 1
+            self._last_period = result.period
+        elif not self.sticky:
+            self._last_period = None
+
+    def predict(self, horizon: int = 1) -> list[Optional[int]]:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        period = self._last_period
+        if period is None:
+            return [None] * horizon
+        history = self._dpd.history()
+        if history.shape[0] < period:
+            return [None] * horizon
+        last_period = history[-period:]
+        # The value k steps ahead repeats the value at offset (k-1) mod period
+        # within the most recent period.
+        return [int(last_period[(k - 1) % period]) for k in range(1, horizon + 1)]
+
+    def periodicity(self):
+        """Expose the raw DPD decision (period, distances, samples)."""
+        return self._dpd.detect()
+
+    def reset(self) -> None:
+        self._dpd.reset()
+        self._last_period = None
+        self.detections = 0
+        self.period_changes = 0

@@ -1,0 +1,58 @@
+"""A small MPI-like library ("simMPI") running on the discrete-event simulator.
+
+The package mirrors the structure of a real MPI implementation:
+
+* :mod:`repro.mpi.constants` — wildcard constants and reserved tag spaces.
+* :mod:`repro.mpi.ops` — the operation objects rank programs ``yield`` to the
+  engine (send/isend/recv/irecv/wait/waitall/compute).
+* :mod:`repro.mpi.request` — non-blocking request handles and receive
+  statuses.
+* :mod:`repro.mpi.communicator` — the application-facing API; collective
+  operations are generator methods used with ``yield from`` and decompose
+  into point-to-point messages exactly like MPICH's collective algorithms.
+* :mod:`repro.mpi.collectives` — the collective algorithms themselves
+  (binomial trees, recursive doubling, pairwise exchange, dissemination
+  barrier).
+"""
+
+from repro.mpi.communicator import Communicator, RankContext
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COLLECTIVE_TAG_BASE,
+    KIND_COLLECTIVE,
+    KIND_P2P,
+    MAX_USER_TAG,
+)
+from repro.mpi.ops import (
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    Operation,
+    RecvOp,
+    SendOp,
+    WaitallOp,
+    WaitOp,
+)
+from repro.mpi.request import Request, Status
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX_USER_TAG",
+    "COLLECTIVE_TAG_BASE",
+    "KIND_P2P",
+    "KIND_COLLECTIVE",
+    "Operation",
+    "SendOp",
+    "IsendOp",
+    "RecvOp",
+    "IrecvOp",
+    "WaitOp",
+    "WaitallOp",
+    "ComputeOp",
+    "Request",
+    "Status",
+    "Communicator",
+    "RankContext",
+]

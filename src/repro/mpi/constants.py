@@ -1,0 +1,33 @@
+"""Constants shared by the MPI layer, the runtime and the workloads."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX_USER_TAG",
+    "COLLECTIVE_TAG_BASE",
+    "KIND_P2P",
+    "KIND_COLLECTIVE",
+]
+
+#: Wildcard source for receive operations (matches any sender).
+ANY_SOURCE: int = -1
+
+#: Wildcard tag for receive operations (matches any tag).
+ANY_TAG: int = -1
+
+#: Largest tag value available to applications.  Tags above this value are
+#: reserved for the collective algorithms so collective traffic can never be
+#: matched by application-level wildcard receives.
+MAX_USER_TAG: int = 2**20 - 1
+
+#: First tag used by collective operations.  Each collective call instance
+#: gets ``COLLECTIVE_TAG_BASE + (sequence % COLLECTIVE_TAG_SPACE)`` so that
+#: back-to-back collectives cannot cross-match.
+COLLECTIVE_TAG_BASE: int = 2**20
+
+#: Message kind markers recorded in traces; Table 1 of the paper separates
+#: point-to-point from collective messages using this flag.
+KIND_P2P: str = "p2p"
+KIND_COLLECTIVE: str = "collective"

@@ -1,0 +1,108 @@
+"""Operation objects yielded by rank programs.
+
+A rank program is a Python generator.  Each ``yield`` hands one of the
+operation objects below to the simulation engine, which executes it against
+the runtime transport and resumes the generator with the operation's result:
+
+===================  =======================================================
+operation            value sent back into the generator
+===================  =======================================================
+:class:`SendOp`      ``None`` (returns once the send buffer is reusable)
+:class:`IsendOp`     a :class:`repro.mpi.request.Request`
+:class:`RecvOp`      a :class:`repro.mpi.request.Status`
+:class:`IrecvOp`     a :class:`repro.mpi.request.Request`
+:class:`WaitOp`      the request's :class:`Status` (``None`` for sends)
+:class:`WaitallOp`   list of statuses (``None`` entries for sends)
+:class:`ComputeOp`   ``None`` (local virtual time advances)
+===================  =======================================================
+
+Applications normally do not construct these directly; they use the methods
+of :class:`repro.mpi.communicator.Communicator`, which validate arguments and
+fill in the message ``kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, KIND_P2P
+from repro.mpi.request import Request
+
+__all__ = [
+    "Operation",
+    "SendOp",
+    "IsendOp",
+    "RecvOp",
+    "IrecvOp",
+    "WaitOp",
+    "WaitallOp",
+    "ComputeOp",
+]
+
+
+class Operation:
+    """Base class for everything a rank program may ``yield``."""
+
+    __slots__ = ()
+
+
+@dataclass
+class SendOp(Operation):
+    """Blocking standard-mode send (``MPI_Send``)."""
+
+    dest: int
+    nbytes: int
+    tag: int = 0
+    kind: str = KIND_P2P
+    payload: object | None = None
+
+
+@dataclass
+class IsendOp(Operation):
+    """Non-blocking send (``MPI_Isend``); resumes with a :class:`Request`."""
+
+    dest: int
+    nbytes: int
+    tag: int = 0
+    kind: str = KIND_P2P
+    payload: object | None = None
+
+
+@dataclass
+class RecvOp(Operation):
+    """Blocking receive (``MPI_Recv``); resumes with a :class:`Status`."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    kind: str = KIND_P2P
+
+
+@dataclass
+class IrecvOp(Operation):
+    """Non-blocking receive (``MPI_Irecv``); resumes with a :class:`Request`."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    kind: str = KIND_P2P
+
+
+@dataclass
+class WaitOp(Operation):
+    """Wait for one request to complete (``MPI_Wait``)."""
+
+    request: Request
+
+
+@dataclass
+class WaitallOp(Operation):
+    """Wait for all requests to complete (``MPI_Waitall``)."""
+
+    requests: Sequence[Request] = field(default_factory=list)
+
+
+@dataclass
+class ComputeOp(Operation):
+    """Advance the rank's local clock by ``seconds`` of computation."""
+
+    seconds: float

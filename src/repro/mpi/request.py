@@ -1,0 +1,112 @@
+"""Request handles and receive statuses.
+
+A :class:`Request` is created by the runtime transport for every send and
+receive operation.  The simulation engine registers completion callbacks on
+requests to wake blocked ranks; the transport fires them when the underlying
+protocol finishes (eager data buffered/delivered, rendezvous handshake plus
+data transfer done, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Status", "Request"]
+
+_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Status:
+    """Result of a completed receive (a subset of ``MPI_Status``).
+
+    Attributes
+    ----------
+    source:
+        Rank that sent the matched message.
+    tag:
+        Tag of the matched message.
+    nbytes:
+        Size of the matched message in bytes.
+    kind:
+        ``"p2p"`` or ``"collective"`` — which API family generated the
+        message (used by the tracer to populate Table 1's two columns).
+    arrival_time:
+        Simulated time at which the message physically arrived at the
+        receiving rank (before any matching/copy delays).
+    """
+
+    source: int
+    tag: int
+    nbytes: int
+    kind: str
+    arrival_time: float
+
+
+class Request:
+    """Handle for an in-flight send or receive.
+
+    Attributes
+    ----------
+    op_kind:
+        ``"send"`` or ``"recv"``.
+    rank:
+        Owning rank (the rank whose program posted the operation).
+    completed:
+        Whether the operation has finished.
+    completion_time:
+        Simulated time at which the owning rank may consider the operation
+        complete (includes CPU overheads and copy costs).
+    status:
+        For receives, the :class:`Status` of the matched message.
+    """
+
+    __slots__ = (
+        "req_id",
+        "op_kind",
+        "rank",
+        "completed",
+        "completion_time",
+        "status",
+        "_callbacks",
+        "cancelled",
+    )
+
+    def __init__(self, op_kind: str, rank: int) -> None:
+        if op_kind not in ("send", "recv"):
+            raise ValueError(f"op_kind must be 'send' or 'recv', got {op_kind!r}")
+        self.req_id = next(_request_ids)
+        self.op_kind = op_kind
+        self.rank = rank
+        self.completed = False
+        self.cancelled = False
+        self.completion_time = float("nan")
+        self.status: Status | None = None
+        self._callbacks: list[Callable[["Request"], None]] = []
+
+    def add_callback(self, callback: Callable[["Request"], None]) -> None:
+        """Register ``callback(request)`` to run at completion.
+
+        If the request has already completed, the callback runs immediately.
+        """
+        if self.completed:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(self, time: float, status: Status | None = None) -> None:
+        """Mark the request complete and fire callbacks (transport-internal)."""
+        if self.completed:
+            raise RuntimeError(f"request {self.req_id} completed twice")
+        self.completed = True
+        self.completion_time = float(time)
+        self.status = status
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else "pending"
+        return f"Request(id={self.req_id}, {self.op_kind}, rank={self.rank}, {state})"

@@ -1,0 +1,110 @@
+"""Online per-receiver prediction of the next incoming messages.
+
+Each receiving rank owns two periodicity predictors — one over the sender
+stream, one over the size stream — fed with every message delivered to it.
+The runtime policies query the predictor for the next few expected
+``(sender, size)`` pairs and make buffer / credit / protocol decisions from
+them, exactly the usage the paper sketches in Section 2 ("knowing the next
+senders and their message size may be useful", Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.predictor import BasePredictor, PeriodicityPredictor
+
+__all__ = ["PredictedMessage", "OnlineMessagePredictor"]
+
+
+@dataclass(frozen=True)
+class PredictedMessage:
+    """One predicted future message at a receiver."""
+
+    sender: int | None
+    nbytes: int | None
+
+    @property
+    def complete(self) -> bool:
+        """Whether both the sender and the size were predicted."""
+        return self.sender is not None and self.nbytes is not None
+
+
+class OnlineMessagePredictor:
+    """Tracks and predicts the incoming message stream of every rank.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks.
+    horizon:
+        How many future messages are predicted per query (the paper uses 5).
+    predictor_factory:
+        Factory for the underlying stream predictor; defaults to the paper's
+        :class:`PeriodicityPredictor` with a short comparison window and a
+        generous maximum period.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        horizon: int = 5,
+        predictor_factory: Callable[[], BasePredictor] | None = None,
+    ) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if predictor_factory is None:
+            predictor_factory = lambda: PeriodicityPredictor(window_size=24, max_period=256)
+        self.nprocs = nprocs
+        self.horizon = horizon
+        self._sender_predictors: list[BasePredictor] = [predictor_factory() for _ in range(nprocs)]
+        self._size_predictors: list[BasePredictor] = [predictor_factory() for _ in range(nprocs)]
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, receiver: int, sender: int, nbytes: int) -> None:
+        """Record a message delivered to ``receiver``."""
+        self._sender_predictors[receiver].observe(int(sender))
+        self._size_predictors[receiver].observe(int(nbytes))
+        self.observations += 1
+
+    def predict(self, receiver: int, horizon: int | None = None) -> list[PredictedMessage]:
+        """Predict the next messages expected at ``receiver``."""
+        h = self.horizon if horizon is None else int(horizon)
+        senders = self._sender_predictors[receiver].predict(h)
+        sizes = self._size_predictors[receiver].predict(h)
+        return [
+            PredictedMessage(
+                sender=None if s is None else int(s),
+                nbytes=None if b is None else int(b),
+            )
+            for s, b in zip(senders, sizes)
+        ]
+
+    def predicted_senders(self, receiver: int, horizon: int | None = None) -> set[int]:
+        """The set of senders expected among the next messages at ``receiver``."""
+        return {
+            p.sender for p in self.predict(receiver, horizon) if p.sender is not None
+        }
+
+    def predicted_bytes_from(self, receiver: int, sender: int, horizon: int | None = None) -> int:
+        """Total predicted bytes arriving at ``receiver`` from ``sender``."""
+        total = 0
+        for p in self.predict(receiver, horizon):
+            if p.sender == sender and p.nbytes is not None:
+                total += p.nbytes
+        return total
+
+    def expects_message(
+        self, receiver: int, sender: int, nbytes: int | None = None, horizon: int | None = None
+    ) -> bool:
+        """Whether ``receiver`` predicts a message from ``sender`` (of ``nbytes``)."""
+        for p in self.predict(receiver, horizon):
+            if p.sender != sender:
+                continue
+            if nbytes is None or p.nbytes is None or p.nbytes == nbytes:
+                return True
+        return False

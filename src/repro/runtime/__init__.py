@@ -1,0 +1,42 @@
+"""Runtime protocol layer of the simulated MPI library.
+
+This package implements the machinery whose scalability the paper's Section 2
+criticises and whose behaviour the prediction-driven optimisations of
+:mod:`repro.predictive` change:
+
+* :mod:`repro.runtime.message` — the wire message record.
+* :mod:`repro.runtime.matching` — posted-receive and unexpected-message
+  queues with MPI matching semantics (source/tag wildcards, post order).
+* :mod:`repro.runtime.buffers` — per-peer eager buffer pools and memory
+  accounting (the "16 KB per peer" problem of Section 2.1).
+* :mod:`repro.runtime.credits` — credit-based flow control bookkeeping
+  (Section 2.2's proposed fix).
+* :mod:`repro.runtime.protocol` — flow-control policies deciding when a
+  message may use the eager path.
+* :mod:`repro.runtime.stats` — counters aggregated across a run.
+* :mod:`repro.runtime.transport` — the transport engine tying it together:
+  eager and rendezvous protocols, matching, tracing hooks and timing.
+"""
+
+from repro.runtime.buffers import BufferPoolStats, EagerBufferPool
+from repro.runtime.credits import CreditAccount, CreditManager
+from repro.runtime.matching import PostedReceive, PostedReceiveQueue, UnexpectedQueue
+from repro.runtime.message import Message
+from repro.runtime.protocol import FlowControlPolicy, StandardFlowControl
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.transport import Transport
+
+__all__ = [
+    "Message",
+    "PostedReceive",
+    "PostedReceiveQueue",
+    "UnexpectedQueue",
+    "EagerBufferPool",
+    "BufferPoolStats",
+    "CreditManager",
+    "CreditAccount",
+    "FlowControlPolicy",
+    "StandardFlowControl",
+    "RuntimeStats",
+    "Transport",
+]

@@ -1,0 +1,90 @@
+"""Credit-based flow control bookkeeping (Section 2.2 of the paper).
+
+A *credit* is permission, granted by a receiver to a specific sender, to
+transmit up to a number of bytes eagerly (without a handshake).  The paper
+proposes that a receiver use its message predictions to grant credits ahead
+of time; a sender holding a credit can then send even a large message on the
+fast path, while senders without credits must fall back to the slow
+ask-permission path.
+
+The :class:`CreditManager` is pure bookkeeping — who granted how many bytes
+to whom and how much has been consumed — shared by the standard runtime (not
+used), the predictive flow-control policy and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["CreditAccount", "CreditManager"]
+
+
+@dataclass
+class CreditAccount:
+    """Credits granted by one receiver to one sender."""
+
+    receiver: int
+    sender: int
+    granted_bytes: int = 0
+    consumed_bytes: int = 0
+    grants: int = 0
+    denials: int = 0
+
+    @property
+    def available_bytes(self) -> int:
+        """Bytes the sender may still send eagerly under this account."""
+        return max(0, self.granted_bytes - self.consumed_bytes)
+
+
+class CreditManager:
+    """Tracks eager-send credits for every (receiver, sender) pair."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[tuple[int, int], CreditAccount] = {}
+
+    def account(self, receiver: int, sender: int) -> CreditAccount:
+        """Return (creating if needed) the account for the pair."""
+        key = (receiver, sender)
+        acct = self._accounts.get(key)
+        if acct is None:
+            acct = CreditAccount(receiver=receiver, sender=sender)
+            self._accounts[key] = acct
+        return acct
+
+    def grant(self, receiver: int, sender: int, nbytes: int) -> CreditAccount:
+        """Receiver grants ``nbytes`` of eager-send credit to ``sender``."""
+        check_non_negative("nbytes", nbytes)
+        acct = self.account(receiver, sender)
+        acct.granted_bytes += int(nbytes)
+        acct.grants += 1
+        return acct
+
+    def available(self, receiver: int, sender: int) -> int:
+        """Bytes ``sender`` may currently send eagerly to ``receiver``."""
+        key = (receiver, sender)
+        acct = self._accounts.get(key)
+        return acct.available_bytes if acct else 0
+
+    def try_consume(self, receiver: int, sender: int, nbytes: int) -> bool:
+        """Consume ``nbytes`` of credit if available; record a denial if not."""
+        check_non_negative("nbytes", nbytes)
+        acct = self.account(receiver, sender)
+        if acct.available_bytes >= nbytes:
+            acct.consumed_bytes += int(nbytes)
+            return True
+        acct.denials += 1
+        return False
+
+    def total_granted_bytes(self, receiver: int | None = None) -> int:
+        """Total bytes granted, optionally restricted to one receiver."""
+        return sum(
+            a.granted_bytes
+            for a in self._accounts.values()
+            if receiver is None or a.receiver == receiver
+        )
+
+    def accounts(self) -> list[CreditAccount]:
+        """All accounts created so far (stable order: by receiver then sender)."""
+        return [self._accounts[k] for k in sorted(self._accounts)]

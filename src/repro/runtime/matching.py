@@ -1,0 +1,105 @@
+"""MPI receive matching queues.
+
+Matching follows the MPI rules the paper's substrate (MPICH) implements:
+
+* a posted receive specifies a source and a tag, either of which may be the
+  wildcard (``ANY_SOURCE`` / ``ANY_TAG``);
+* an incoming message matches the *earliest posted* receive whose source and
+  tag accept it;
+* a newly posted receive matches the *earliest arrived* unexpected message it
+  accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.request import Request
+from repro.runtime.message import Message
+
+__all__ = ["PostedReceive", "PostedReceiveQueue", "UnexpectedQueue"]
+
+
+@dataclass
+class PostedReceive:
+    """A receive that has been posted but not yet matched."""
+
+    request: Request
+    source: int
+    tag: int
+    kind: str
+    post_time: float
+
+    def accepts(self, msg: Message) -> bool:
+        """Whether this posted receive matches the message's envelope."""
+        if self.source != ANY_SOURCE and self.source != msg.src:
+            return False
+        if self.tag != ANY_TAG and self.tag != msg.tag:
+            return False
+        return True
+
+
+@dataclass
+class UnexpectedEntry:
+    """A message (or rendezvous announcement) that arrived before its receive."""
+
+    message: Message
+    arrival_time: float
+    #: True when the entry is a rendezvous RTS waiting for a matching receive
+    #: (payload not yet transferred); False for buffered eager payloads.
+    is_rendezvous_announcement: bool = False
+    #: Opaque handle the transport uses to resume the rendezvous handshake.
+    rendezvous_token: object | None = None
+    #: For buffered eager payloads: which storage class the buffer pool used
+    #: ("buffer" or "heap"), needed to release the memory on match.
+    storage: str | None = None
+
+
+@dataclass
+class PostedReceiveQueue:
+    """Posted receives of one rank, in posting order."""
+
+    entries: list[PostedReceive] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def post(self, entry: PostedReceive) -> None:
+        """Append a newly posted receive."""
+        self.entries.append(entry)
+
+    def match(self, msg: Message) -> Optional[PostedReceive]:
+        """Pop and return the earliest posted receive matching ``msg``."""
+        for index, entry in enumerate(self.entries):
+            if entry.accepts(msg):
+                return self.entries.pop(index)
+        return None
+
+
+@dataclass
+class UnexpectedQueue:
+    """Unexpected (early) messages of one rank, in arrival order."""
+
+    entries: list[UnexpectedEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: UnexpectedEntry) -> None:
+        """Append a newly arrived unexpected message."""
+        self.entries.append(entry)
+
+    def match(self, posted: PostedReceive) -> Optional[UnexpectedEntry]:
+        """Pop and return the earliest unexpected entry the receive accepts."""
+        for index, entry in enumerate(self.entries):
+            if posted.accepts(entry.message):
+                return self.entries.pop(index)
+        return None
+
+    def pending_bytes(self) -> int:
+        """Total buffered payload bytes currently held (eager entries only)."""
+        return sum(
+            e.message.nbytes for e in self.entries if not e.is_rendezvous_announcement
+        )

@@ -1,0 +1,54 @@
+"""Wire message record used by the transport."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.mpi.constants import KIND_P2P
+
+__all__ = ["Message"]
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One application-level message in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Sending and receiving ranks.
+    tag:
+        MPI tag (collective-internal tags live above ``COLLECTIVE_TAG_BASE``).
+    nbytes:
+        Payload size in bytes.
+    kind:
+        ``"p2p"`` or ``"collective"``.
+    protocol:
+        ``"eager"`` or ``"rendezvous"`` — chosen by the transport when the
+        send is posted (and possibly forced to rendezvous by flow control).
+    inject_time:
+        Time the payload was injected into the network (eager) or the RTS was
+        sent (rendezvous).
+    arrival_time:
+        Time the payload arrived at the destination (filled by the transport).
+    payload:
+        Optional application payload; the simulator never inspects it.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    kind: str = KIND_P2P
+    protocol: str = "eager"
+    inject_time: float = 0.0
+    arrival_time: float = float("nan")
+    payload: object | None = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def envelope(self) -> tuple[int, int, int]:
+        """The matching envelope ``(src, dst, tag)``."""
+        return (self.src, self.dst, self.tag)

@@ -1,0 +1,85 @@
+"""Flow-control policies: who may use the eager (fast) path, and when.
+
+The transport asks its policy two questions:
+
+* :meth:`FlowControlPolicy.allows_eager` — may this message skip the
+  rendezvous handshake?  The standard policy answers "yes iff the message is
+  small" (classic MPICH behaviour, Section 2.2/2.3 of the paper); the
+  predictive policies in :mod:`repro.predictive` answer based on credits
+  granted from predictions.
+* :meth:`FlowControlPolicy.on_recv_posted` / :meth:`on_message_delivered` —
+  notifications the predictive policies use to learn the message stream and
+  refresh grants.
+
+Policies never touch timing; they only steer protocol selection and buffer
+allocation, so the same transport code exercises both the baseline and the
+prediction-driven runtime.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import MachineConfig
+
+__all__ = ["FlowControlPolicy", "StandardFlowControl", "AlwaysRendezvousFlowControl"]
+
+
+class FlowControlPolicy:
+    """Interface for eager/rendezvous protocol selection."""
+
+    #: Human-readable policy name used in stats and benchmark output.
+    name: str = "abstract"
+
+    def bind(self, machine: MachineConfig, nprocs: int) -> None:
+        """Called once by the transport before the simulation starts."""
+        self.machine = machine
+        self.nprocs = nprocs
+
+    # -- decisions ---------------------------------------------------------
+    def allows_eager(self, src: int, dst: int, nbytes: int, kind: str, now: float) -> bool:
+        """Whether the message may be sent on the eager path."""
+        raise NotImplementedError
+
+    def preallocate_peers(self, rank: int) -> list[int] | None:
+        """Peers for which ``rank`` should pre-allocate eager buffers.
+
+        ``None`` means "use the machine default" (all peers when
+        ``preallocate_all_peers`` is set).  The predictive buffer manager
+        returns only the predicted senders.
+        """
+        return None
+
+    # -- notifications -------------------------------------------------------
+    def on_recv_posted(self, rank: int, source: int, tag: int, kind: str, now: float) -> None:
+        """A receive was posted by ``rank`` (source may be ANY_SOURCE)."""
+
+    def on_message_delivered(
+        self, dst: int, src: int, nbytes: int, tag: int, kind: str, now: float
+    ) -> None:
+        """A message was delivered to ``dst``; predictive policies learn here."""
+
+
+class StandardFlowControl(FlowControlPolicy):
+    """The classic MPI policy: eager for small messages, rendezvous for large.
+
+    This is the baseline whose scalability problems the paper describes —
+    short messages are sent without asking, long messages always pay the
+    rendezvous handshake.
+    """
+
+    name = "standard"
+
+    def allows_eager(self, src: int, dst: int, nbytes: int, kind: str, now: float) -> bool:
+        return nbytes <= self.machine.eager_threshold
+
+
+class AlwaysRendezvousFlowControl(FlowControlPolicy):
+    """A conservative policy that forces every message through rendezvous.
+
+    Useful as the "fully flow-controlled, never runs out of memory, always
+    slow" extreme in the latency benchmarks.
+    """
+
+    name = "always-rendezvous"
+
+    def allows_eager(self, src: int, dst: int, nbytes: int, kind: str, now: float) -> bool:
+        return False

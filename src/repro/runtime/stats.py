@@ -1,0 +1,118 @@
+"""Counters aggregated over one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyAccumulator", "RuntimeStats"]
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming mean/max accumulator for message latencies."""
+
+    count: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Add one latency sample (seconds)."""
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (0.0 when no samples were recorded)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class RuntimeStats:
+    """Protocol and memory counters for a whole run.
+
+    The transport updates these as it executes sends and receives; the
+    analysis layer and the extension benchmarks read them to report protocol
+    mix, unexpected-message pressure and end-to-end latency per protocol.
+    """
+
+    nprocs: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    p2p_messages: int = 0
+    collective_messages: int = 0
+    eager_messages: int = 0
+    rendezvous_messages: int = 0
+    #: Messages that would have gone eager under the size rule but were forced
+    #: to rendezvous by the flow-control policy (e.g. no credit / no buffer).
+    forced_rendezvous: int = 0
+    #: Large messages allowed onto the eager path by a predictive policy.
+    eager_bypass_large: int = 0
+    expected_deliveries: int = 0
+    unexpected_deliveries: int = 0
+    unexpected_heap_stores: int = 0
+    control_messages: int = 0
+    eager_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    rendezvous_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    # ------------------------------------------------------------------
+    def record_send(self, nbytes: int, kind: str, protocol: str, forced: bool, bypass: bool) -> None:
+        """Record a send decision."""
+        self.messages_sent += 1
+        self.bytes_sent += int(nbytes)
+        if kind == "collective":
+            self.collective_messages += 1
+        else:
+            self.p2p_messages += 1
+        if protocol == "eager":
+            self.eager_messages += 1
+        else:
+            self.rendezvous_messages += 1
+        if forced:
+            self.forced_rendezvous += 1
+        if bypass:
+            self.eager_bypass_large += 1
+
+    def record_delivery(self, expected: bool, storage: str | None = None) -> None:
+        """Record whether a delivery found a posted receive waiting."""
+        if expected:
+            self.expected_deliveries += 1
+        else:
+            self.unexpected_deliveries += 1
+            if storage == "heap":
+                self.unexpected_heap_stores += 1
+
+    def record_latency(self, protocol: str, seconds: float) -> None:
+        """Record one end-to-end message latency (send post to recv complete)."""
+        if protocol == "eager":
+            self.eager_latency.add(seconds)
+        else:
+            self.rendezvous_latency.add(seconds)
+
+    def record_control_message(self) -> None:
+        """Record one rendezvous RTS/CTS control message."""
+        self.control_messages += 1
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Return a plain-dict summary suitable for printing or JSON."""
+        return {
+            "nprocs": self.nprocs,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "p2p_messages": self.p2p_messages,
+            "collective_messages": self.collective_messages,
+            "eager_messages": self.eager_messages,
+            "rendezvous_messages": self.rendezvous_messages,
+            "forced_rendezvous": self.forced_rendezvous,
+            "eager_bypass_large": self.eager_bypass_large,
+            "expected_deliveries": self.expected_deliveries,
+            "unexpected_deliveries": self.unexpected_deliveries,
+            "unexpected_heap_stores": self.unexpected_heap_stores,
+            "control_messages": self.control_messages,
+            "mean_eager_latency": self.eager_latency.mean,
+            "mean_rendezvous_latency": self.rendezvous_latency.mean,
+            "max_eager_latency": self.eager_latency.maximum,
+            "max_rendezvous_latency": self.rendezvous_latency.maximum,
+        }

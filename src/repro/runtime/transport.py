@@ -1,0 +1,349 @@
+"""The transport engine: eager and rendezvous protocols over the network model.
+
+This module plays the role of MPICH's ADI/ch_p4 layer in the paper's setup:
+it receives send/receive postings from the simulation engine, selects a
+protocol (eager vs rendezvous, subject to the flow-control policy), times the
+resulting network traffic with :class:`repro.sim.network.NetworkModel`,
+matches messages to posted receives with MPI semantics, accounts eager-buffer
+memory, and drives the two-level tracer.
+
+Timing model
+------------
+* Eager send: the payload is injected ``send_overhead`` after the send is
+  posted; the send completes at injection (the payload is considered
+  buffered).  The payload arrives ``latency + size/bandwidth + jitter`` later.
+* Rendezvous send: an RTS control message travels to the receiver; once a
+  matching receive is posted a CTS returns to the sender; the payload is then
+  injected and the send completes when it has been fully serialised into the
+  network.  The receive completes when the payload arrives.
+* Unexpected eager messages are buffered (per-peer eager buffer, falling back
+  to heap) and copied out when the matching receive is finally posted.
+* Messages between the same (source, destination) pair are delivered in FIFO
+  order, as MPI requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mpi.ops import IrecvOp, IsendOp, RecvOp, SendOp
+from repro.mpi.request import Request, Status
+from repro.runtime.buffers import BufferPoolStats, EagerBufferPool
+from repro.runtime.matching import (
+    PostedReceive,
+    PostedReceiveQueue,
+    UnexpectedEntry,
+    UnexpectedQueue,
+)
+from repro.runtime.message import Message
+from repro.runtime.protocol import FlowControlPolicy, StandardFlowControl
+from repro.runtime.stats import RuntimeStats
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkModel
+from repro.trace.tracer import TwoLevelTracer
+
+__all__ = ["Transport"]
+
+#: Minimum spacing enforced between two deliveries on the same channel so that
+#: FIFO order is never violated by jitter.
+_FIFO_EPSILON = 1.0e-12
+
+
+@dataclass
+class _Rendezvous:
+    """In-flight rendezvous handshake state."""
+
+    message: Message
+    send_request: Request
+    posted: Optional[PostedReceive] = None
+
+
+class _Endpoint:
+    """Per-rank matching state."""
+
+    __slots__ = ("rank", "posted", "unexpected", "buffers")
+
+    def __init__(self, rank: int, nprocs: int, machine: MachineConfig, preallocate: bool) -> None:
+        self.rank = rank
+        self.posted = PostedReceiveQueue()
+        self.unexpected = UnexpectedQueue()
+        self.buffers = EagerBufferPool(
+            rank=rank,
+            nprocs=nprocs,
+            buffer_bytes=machine.eager_buffer_bytes,
+            preallocate_all=preallocate,
+        )
+
+
+class Transport:
+    """Message transport shared by all simulated ranks.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks.
+    machine:
+        Per-node cost model.
+    network:
+        Network timing model (owns the jitter RNG).
+    tracer:
+        Optional two-level tracer; if ``None``, no traces are recorded.
+    policy:
+        Flow-control policy; defaults to :class:`StandardFlowControl`.
+    stats:
+        Optional pre-existing :class:`RuntimeStats` to accumulate into.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineConfig,
+        network: NetworkModel,
+        tracer: TwoLevelTracer | None = None,
+        policy: FlowControlPolicy | None = None,
+        stats: RuntimeStats | None = None,
+    ) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self.machine = machine
+        self.network = network
+        self.tracer = tracer
+        self.policy = policy or StandardFlowControl()
+        self.policy.bind(machine, nprocs)
+        self.stats = stats or RuntimeStats(nprocs=nprocs)
+        self.stats.nprocs = nprocs
+        self._engine = None
+        self._channel_last_arrival: dict[tuple[int, int], float] = {}
+        self._endpoints: list[_Endpoint] = []
+        for rank in range(nprocs):
+            peers = self.policy.preallocate_peers(rank)
+            preallocate_all = machine.preallocate_all_peers and peers is None
+            endpoint = _Endpoint(rank, nprocs, machine, preallocate_all)
+            if peers is not None:
+                endpoint.buffers.preallocate(peers)
+            self._endpoints.append(endpoint)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, engine) -> None:
+        """Attach the simulation engine (must expose ``schedule_at(time, fn)``)."""
+        self._engine = engine
+
+    def _schedule(self, time: float, callback) -> None:
+        if self._engine is None:
+            raise RuntimeError("transport is not attached to a simulation engine")
+        self._engine.schedule_at(time, callback)
+
+    def endpoint(self, rank: int) -> _Endpoint:
+        """Return the endpoint of ``rank`` (mainly for tests and stats)."""
+        return self._endpoints[rank]
+
+    def buffer_stats(self) -> list[BufferPoolStats]:
+        """Eager-buffer memory accounting snapshots for every rank."""
+        return [ep.buffers.stats() for ep in self._endpoints]
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def post_send(self, rank: int, op: SendOp | IsendOp, now: float) -> Request:
+        """Execute a send posted by ``rank`` at local time ``now``."""
+        dst = op.dest
+        if not (0 <= dst < self.nprocs):
+            raise ValueError(f"destination rank {dst} out of range [0, {self.nprocs})")
+        if dst == rank:
+            raise ValueError("self-sends are not supported by the simulated transport")
+        nbytes = int(op.nbytes)
+        if nbytes < 0:
+            raise ValueError(f"message size must be non-negative, got {nbytes}")
+
+        request = Request("send", rank)
+        size_says_eager = nbytes <= self.machine.eager_threshold
+        policy_allows = self.policy.allows_eager(rank, dst, nbytes, op.kind, now)
+        use_eager = policy_allows
+        forced_rendezvous = size_says_eager and not policy_allows
+        eager_bypass = (not size_says_eager) and policy_allows
+
+        message = Message(
+            src=rank,
+            dst=dst,
+            tag=op.tag,
+            nbytes=nbytes,
+            kind=op.kind,
+            protocol="eager" if use_eager else "rendezvous",
+            payload=op.payload,
+        )
+        self.stats.record_send(nbytes, op.kind, message.protocol, forced_rendezvous, eager_bypass)
+
+        inject = now + self.machine.send_overhead
+        message.inject_time = inject
+        if use_eager:
+            arrival = self._data_arrival(rank, dst, nbytes, inject)
+            message.arrival_time = arrival
+            self._schedule(arrival, lambda: self._deliver_data(message, arrival, posted=None))
+            request._complete(inject)
+        else:
+            state = _Rendezvous(message=message, send_request=request)
+            self.stats.record_control_message()
+            rts_arrival = self.network.arrival_time(
+                rank, dst, self.machine.control_message_bytes, inject
+            )
+            self._schedule(rts_arrival, lambda: self._handle_rts(state, rts_arrival))
+        return request
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def post_recv(self, rank: int, op: RecvOp | IrecvOp, now: float) -> Request:
+        """Execute a receive posted by ``rank`` at local time ``now``."""
+        request = Request("recv", rank)
+        if self.tracer is not None:
+            self.tracer.on_recv_posted(rank, request.req_id, now)
+        self.policy.on_recv_posted(rank, op.source, op.tag, op.kind, now)
+
+        posted = PostedReceive(
+            request=request, source=op.source, tag=op.tag, kind=op.kind, post_time=now
+        )
+        endpoint = self._endpoints[rank]
+        entry = endpoint.unexpected.match(posted)
+        if entry is None:
+            endpoint.posted.post(posted)
+        elif entry.is_rendezvous_announcement:
+            state: _Rendezvous = entry.rendezvous_token  # type: ignore[assignment]
+            self._send_cts(state, posted, now + self.machine.rendezvous_handshake_cpu)
+        else:
+            self._complete_from_unexpected(posted, entry, now)
+        return request
+
+    # ------------------------------------------------------------------
+    # Internal protocol steps
+    # ------------------------------------------------------------------
+    def _data_arrival(self, src: int, dst: int, nbytes: int, inject: float) -> float:
+        """Arrival time of a payload, respecting per-channel FIFO order."""
+        arrival = self.network.arrival_time(src, dst, nbytes, inject)
+        key = (src, dst)
+        last = self._channel_last_arrival.get(key, 0.0)
+        if arrival <= last:
+            arrival = last + _FIFO_EPSILON
+        self._channel_last_arrival[key] = arrival
+        return arrival
+
+    def _handle_rts(self, state: _Rendezvous, arrival: float) -> None:
+        """RTS arrived at the receiver: match immediately or park it."""
+        message = state.message
+        endpoint = self._endpoints[message.dst]
+        posted = endpoint.posted.match(message)
+        if posted is not None:
+            self._send_cts(state, posted, arrival + self.machine.rendezvous_handshake_cpu)
+        else:
+            endpoint.unexpected.add(
+                UnexpectedEntry(
+                    message=message,
+                    arrival_time=arrival,
+                    is_rendezvous_announcement=True,
+                    rendezvous_token=state,
+                )
+            )
+
+    def _send_cts(self, state: _Rendezvous, posted: PostedReceive, time: float) -> None:
+        """Receiver grants the transfer: send the CTS back to the sender."""
+        state.posted = posted
+        self.stats.record_control_message()
+        message = state.message
+        cts_arrival = self.network.arrival_time(
+            message.dst, message.src, self.machine.control_message_bytes, time
+        )
+        self._schedule(cts_arrival, lambda: self._handle_cts(state, cts_arrival))
+
+    def _handle_cts(self, state: _Rendezvous, arrival: float) -> None:
+        """CTS arrived back at the sender: push the payload."""
+        message = state.message
+        data_inject = arrival + self.machine.rendezvous_handshake_cpu
+        data_arrival = self._data_arrival(message.src, message.dst, message.nbytes, data_inject)
+        message.arrival_time = data_arrival
+        send_done = data_inject + self.network.serialization_time(message.nbytes)
+        state.send_request._complete(send_done)
+        self._schedule(
+            data_arrival, lambda: self._deliver_data(message, data_arrival, posted=state.posted)
+        )
+
+    def _deliver_data(
+        self, message: Message, arrival: float, posted: Optional[PostedReceive]
+    ) -> None:
+        """A payload physically arrived at its destination rank."""
+        dst = message.dst
+        if self.tracer is not None:
+            self.tracer.on_message_arrival(
+                dst, message.src, message.nbytes, message.tag, message.kind, arrival
+            )
+        self.policy.on_message_delivered(
+            dst, message.src, message.nbytes, message.tag, message.kind, arrival
+        )
+
+        if posted is not None:
+            # Rendezvous payload: the receive was matched during the handshake.
+            self.stats.record_delivery(expected=True)
+            self._complete_receive(posted, message, arrival, copy_penalty=0.0)
+            return
+
+        endpoint = self._endpoints[dst]
+        match = endpoint.posted.match(message)
+        if match is not None:
+            self.stats.record_delivery(expected=True)
+            self._complete_receive(match, message, arrival, copy_penalty=0.0)
+        else:
+            storage = endpoint.buffers.store_unexpected(message.src, message.nbytes)
+            self.stats.record_delivery(expected=False, storage=storage)
+            endpoint.unexpected.add(
+                UnexpectedEntry(
+                    message=message,
+                    arrival_time=arrival,
+                    is_rendezvous_announcement=False,
+                    storage=storage,
+                )
+            )
+
+    def _complete_from_unexpected(
+        self, posted: PostedReceive, entry: UnexpectedEntry, now: float
+    ) -> None:
+        """A newly posted receive matched a buffered eager message."""
+        message = entry.message
+        endpoint = self._endpoints[posted.request.rank]
+        endpoint.buffers.release_unexpected(message.src, message.nbytes, entry.storage or "heap")
+        copy_penalty = message.nbytes / self.machine.unexpected_copy_bandwidth
+        self._complete_receive(posted, message, max(now, entry.arrival_time), copy_penalty)
+
+    def _complete_receive(
+        self, posted: PostedReceive, message: Message, ready_time: float, copy_penalty: float
+    ) -> None:
+        """Finish a receive: build the status, trace it, fire the request."""
+        complete_time = ready_time + self.machine.recv_overhead + copy_penalty
+        status = Status(
+            source=message.src,
+            tag=message.tag,
+            nbytes=message.nbytes,
+            kind=message.kind,
+            arrival_time=message.arrival_time if message.arrival_time == message.arrival_time else ready_time,
+        )
+        rank = posted.request.rank
+        if self.tracer is not None:
+            self.tracer.on_recv_matched(
+                rank,
+                posted.request.req_id,
+                message.src,
+                message.nbytes,
+                message.tag,
+                message.kind,
+                complete_time,
+            )
+        self.stats.record_latency(message.protocol, complete_time - message.inject_time)
+        posted.request._complete(complete_time, status)
+
+    # ------------------------------------------------------------------
+    def pending_counts(self) -> dict[int, tuple[int, int]]:
+        """Per-rank (posted, unexpected) queue lengths — useful for deadlock reports."""
+        return {
+            ep.rank: (len(ep.posted), len(ep.unexpected)) for ep in self._endpoints
+        }

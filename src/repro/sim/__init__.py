@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+This package provides the machinery that stands in for the paper's real
+IBM RS/6000 + MPICH testbed:
+
+* :mod:`repro.sim.events` — a deterministic event queue and virtual clock.
+* :mod:`repro.sim.network` — a latency/bandwidth/jitter network model (the
+  source of the "random effects" that perturb the physical message stream).
+* :mod:`repro.sim.machine` — per-node cost parameters (send/receive overheads,
+  eager threshold, eager buffer sizes).
+* :mod:`repro.sim.engine` — the simulator that drives generator-based rank
+  programs and dispatches their MPI operations to the runtime transport.
+"""
+
+from repro.sim.engine import RankState, SimulationResult, Simulator
+from repro.sim.errors import ConfigurationError, DeadlockError, SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig, NetworkModel
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "NetworkConfig",
+    "NetworkModel",
+    "MachineConfig",
+    "Simulator",
+    "SimulationResult",
+    "RankState",
+    "SimulationError",
+    "DeadlockError",
+    "ConfigurationError",
+]

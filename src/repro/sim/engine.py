@@ -1,0 +1,324 @@
+"""The discrete-event simulation engine.
+
+A *rank program* is a Python generator produced by calling a program factory
+with a :class:`repro.mpi.communicator.RankContext`.  Each value the generator
+yields is an MPI operation (:mod:`repro.mpi.ops`); the engine executes it
+against the runtime transport and resumes the generator with the operation's
+result once it completes in simulated time.
+
+The engine owns the global event queue and each rank's local virtual clock.
+Blocking operations suspend a rank until the transport completes the
+corresponding request; non-blocking operations resume the rank immediately
+(after the CPU overhead of posting) and hand back a request handle that can
+be waited on later.  If the event queue drains while some ranks are still
+blocked, the simulation is deadlocked and :class:`repro.sim.errors.DeadlockError`
+is raised, listing the stuck ranks — the same failure a real MPI job would
+hang on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Generator, Sequence
+
+from repro.mpi.communicator import Communicator, RankContext
+from repro.mpi.ops import (
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    Operation,
+    RecvOp,
+    SendOp,
+    WaitallOp,
+    WaitOp,
+)
+from repro.mpi.request import Request
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.transport import Transport
+from repro.sim.errors import DeadlockError, ProgramError, SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig, NetworkModel
+from repro.trace.tracer import TwoLevelTracer
+from repro.util.rng import SeededRNG
+
+__all__ = ["Simulator", "SimulationResult", "RankState", "RankStatus"]
+
+#: A program factory takes a rank context and returns the rank's generator.
+ProgramFactory = Callable[[RankContext], Generator[Operation, object, None]]
+
+
+class RankStatus(Enum):
+    """Lifecycle state of one simulated rank."""
+
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class RankState:
+    """Book-keeping for one simulated rank."""
+
+    rank: int
+    generator: Generator[Operation, object, None]
+    now: float = 0.0
+    status: RankStatus = RankStatus.READY
+    steps: int = 0
+    blocked_on: str = ""
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation exposes to the analysis layer."""
+
+    nprocs: int
+    makespan: float
+    rank_finish_times: list[float]
+    events_processed: int
+    stats: RuntimeStats
+    tracer: TwoLevelTracer | None
+    buffer_stats: list = field(default_factory=list)
+
+    def trace_for(self, rank: int):
+        """Convenience accessor for one rank's :class:`ProcessTrace`."""
+        if self.tracer is None:
+            raise SimulationError("simulation was run without a tracer")
+        return self.tracer.trace_for(rank)
+
+
+class Simulator:
+    """Drives a set of rank programs over the runtime transport.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks in the job.
+    machine:
+        Per-node cost model (defaults to :class:`MachineConfig`).
+    network:
+        Either a :class:`NetworkModel` or a :class:`NetworkConfig` (a model is
+        built from it); defaults to the standard jittered network.
+    tracer:
+        A :class:`TwoLevelTracer`, or True to create one, or None/False for no
+        tracing.
+    policy:
+        Flow-control policy forwarded to the transport.
+    seed:
+        Base seed for per-rank RNGs handed to the programs (compute-time noise
+        in the workload skeletons).
+    max_events:
+        Safety limit on processed events; exceeding it raises
+        :class:`SimulationError` (guards against runaway programs).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineConfig | None = None,
+        network: NetworkModel | NetworkConfig | None = None,
+        tracer: TwoLevelTracer | bool | None = True,
+        policy=None,
+        seed: int = 12345,
+        max_events: int | None = None,
+    ) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self.machine = machine or MachineConfig()
+        if network is None:
+            network = NetworkConfig(seed=seed)
+        if isinstance(network, NetworkConfig):
+            network = NetworkModel(network)
+        self.network = network
+        if tracer is True:
+            tracer = TwoLevelTracer(nprocs)
+        elif tracer is False:
+            tracer = None
+        self.tracer = tracer
+        self.seed = seed
+        self.max_events = max_events
+        self.transport = Transport(
+            nprocs=nprocs,
+            machine=self.machine,
+            network=self.network,
+            tracer=self.tracer,
+            policy=policy,
+        )
+        self.transport.attach(self)
+        self._queue = EventQueue()
+        self._ranks: list[RankState] = []
+        self.time = 0.0
+        self._done_count = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling interface (also used by the transport)
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        self._queue.push(max(time, self.time), callback)
+
+    # ------------------------------------------------------------------
+    # Running programs
+    # ------------------------------------------------------------------
+    def run(self, programs: Sequence[ProgramFactory]) -> SimulationResult:
+        """Run one program factory per rank to completion.
+
+        ``programs`` may contain a single factory (used for every rank, the
+        SPMD style of all the paper's benchmarks) or exactly ``nprocs``
+        factories.
+        """
+        if len(programs) == 1:
+            programs = list(programs) * self.nprocs
+        if len(programs) != self.nprocs:
+            raise ValueError(
+                f"expected 1 or {self.nprocs} program factories, got {len(programs)}"
+            )
+
+        self._ranks = []
+        for rank, factory in enumerate(programs):
+            ctx = RankContext(
+                rank=rank,
+                size=self.nprocs,
+                comm=Communicator(rank=rank, size=self.nprocs),
+                rng=SeededRNG(self.seed, "rank", rank),
+            )
+            generator = factory(ctx)
+            if not hasattr(generator, "send"):
+                raise ProgramError(
+                    f"program factory for rank {rank} did not return a generator"
+                )
+            self._ranks.append(RankState(rank=rank, generator=generator))
+
+        self._done_count = 0
+        for state in self._ranks:
+            self.schedule_at(0.0, lambda s=state: self._step(s, None))
+
+        self._run_loop()
+
+        if self._done_count != self.nprocs:
+            blocked = [s.rank for s in self._ranks if s.status is RankStatus.BLOCKED]
+            detail = f"pending queues: {self.transport.pending_counts()}"
+            raise DeadlockError(blocked, detail)
+
+        if self.tracer is not None:
+            self.tracer.finalize()
+        return SimulationResult(
+            nprocs=self.nprocs,
+            makespan=max((s.now for s in self._ranks), default=0.0),
+            rank_finish_times=[s.now for s in self._ranks],
+            events_processed=self._queue.events_processed,
+            stats=self.transport.stats,
+            tracer=self.tracer,
+            buffer_stats=self.transport.buffer_stats(),
+        )
+
+    def _run_loop(self) -> None:
+        while True:
+            event = self._queue.pop()
+            if event is None:
+                return
+            if event.time < self.time - 1e-9:
+                raise SimulationError(
+                    f"time went backwards: event at {event.time} after {self.time}"
+                )
+            self.time = max(self.time, event.time)
+            event.callback()
+            if self.max_events is not None and self._queue.events_processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "the workload is larger than expected or the simulation is livelocked"
+                )
+
+    # ------------------------------------------------------------------
+    # Rank stepping
+    # ------------------------------------------------------------------
+    def _step(self, state: RankState, value: object) -> None:
+        """Resume one rank's generator with ``value`` and dispatch its next op."""
+        if state.status is RankStatus.DONE:
+            raise SimulationError(f"rank {state.rank} stepped after completion")
+        state.status = RankStatus.READY
+        state.steps += 1
+        try:
+            operation = state.generator.send(value)
+        except StopIteration:
+            state.status = RankStatus.DONE
+            self._done_count += 1
+            return
+        except Exception:
+            state.status = RankStatus.FAILED
+            raise
+        self._dispatch(state, operation)
+
+    def _dispatch(self, state: RankState, operation: Operation) -> None:
+        rank = state.rank
+        if isinstance(operation, ComputeOp):
+            if operation.seconds < 0:
+                raise ProgramError(f"rank {rank} yielded a negative compute time")
+            state.now += operation.seconds
+            self.schedule_at(state.now, lambda: self._step(state, None))
+        elif isinstance(operation, SendOp):
+            request = self.transport.post_send(rank, operation, state.now)
+            self._block_on(state, [request], lambda reqs: None, "send")
+        elif isinstance(operation, IsendOp):
+            request = self.transport.post_send(rank, operation, state.now)
+            state.now += self.machine.send_overhead
+            self.schedule_at(state.now, lambda: self._step(state, request))
+        elif isinstance(operation, RecvOp):
+            request = self.transport.post_recv(rank, operation, state.now)
+            self._block_on(state, [request], lambda reqs: reqs[0].status, "recv")
+        elif isinstance(operation, IrecvOp):
+            request = self.transport.post_recv(rank, operation, state.now)
+            self.schedule_at(state.now, lambda: self._step(state, request))
+        elif isinstance(operation, WaitOp):
+            request = operation.request
+            result = (lambda reqs: reqs[0].status) if request.op_kind == "recv" else (lambda reqs: None)
+            self._block_on(state, [request], result, "wait")
+        elif isinstance(operation, WaitallOp):
+            requests = list(operation.requests)
+            self._block_on(
+                state,
+                requests,
+                lambda reqs: [r.status for r in reqs],
+                "waitall",
+            )
+        else:
+            raise ProgramError(
+                f"rank {rank} yielded an unsupported operation: {operation!r}"
+            )
+
+    def _block_on(
+        self,
+        state: RankState,
+        requests: list[Request],
+        result_fn: Callable[[list[Request]], object],
+        why: str,
+    ) -> None:
+        """Suspend ``state`` until every request in ``requests`` has completed."""
+        state.status = RankStatus.BLOCKED
+        state.blocked_on = why
+        pending = [r for r in requests if not r.completed]
+
+        def resume() -> None:
+            completion = max(
+                [state.now] + [r.completion_time for r in requests if r.completed]
+            )
+            state.now = completion
+            state.blocked_on = ""
+            self.schedule_at(state.now, lambda: self._step(state, result_fn(requests)))
+
+        if not pending:
+            resume()
+            return
+
+        remaining = {"count": len(pending)}
+
+        def on_complete(_request: Request) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                resume()
+
+        for request in pending:
+            request.add_callback(on_complete)

@@ -1,0 +1,89 @@
+"""Deterministic event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)`` where the sequence number is the
+insertion order; this makes simulations fully deterministic even when many
+events share a timestamp (common at t=0 when every rank starts).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the callback fires.
+    seq:
+        Tie-breaking insertion sequence number.
+    callback:
+        Zero-argument callable executed when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will be ignored when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A minimal binary-heap event queue with cancellation support."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._popped = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events popped so far."""
+        return self._popped
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=float(time), seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop and return the next non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._popped += 1
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the timestamp of the next pending event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

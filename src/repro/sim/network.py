@@ -1,0 +1,150 @@
+"""Network timing model.
+
+The network model answers one question for the transport layer: *when does a
+message injected at time ``t`` by rank ``src`` arrive at rank ``dst``?*  The
+answer is
+
+``arrival = t + latency + nbytes / bandwidth + jitter (+ contention delay)``
+
+where the jitter term is a half-normal random variable whose scale is a
+fraction of the base latency.  This jitter is the reproduction's stand-in for
+the paper's "random effects in the physical data transfer between processes,
+load balance, network congestion, and so on" (Section 3.1): it perturbs
+arrival order between messages from different senders while leaving the
+logical program-order stream untouched.
+
+An optional FIFO link-contention model serialises messages that share the
+same destination NIC, which increases reordering under heavy fan-in (the IS
+benchmark's collective phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.rng import SeededRNG
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+__all__ = ["NetworkConfig", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the network model.
+
+    Attributes
+    ----------
+    latency:
+        Base one-way latency in seconds for any message.
+    bandwidth:
+        Link bandwidth in bytes/second.
+    jitter_sigma:
+        Scale of the half-normal per-message jitter, expressed as a fraction
+        of ``latency``.  ``0`` gives a perfectly deterministic network, in
+        which case the physical stream equals the logical stream.
+    contention:
+        If True, messages destined to the same rank are serialised through a
+        per-destination FIFO channel (models NIC/port contention).
+    drop_probability:
+        Probability that a message experiences one retransmission-style extra
+        delay of ``retransmit_penalty`` seconds.  Used by fault-injection
+        tests; 0 by default.
+    retransmit_penalty:
+        Extra delay applied when ``drop_probability`` triggers.
+    seed:
+        Seed of the jitter random stream.
+    """
+
+    latency: float = 25.0e-6
+    bandwidth: float = 300.0e6
+    jitter_sigma: float = 0.2
+    contention: bool = True
+    drop_probability: float = 0.0
+    retransmit_penalty: float = 500.0e-6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("latency", self.latency)
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("jitter_sigma", self.jitter_sigma)
+        check_probability("drop_probability", self.drop_probability)
+        check_non_negative("retransmit_penalty", self.retransmit_penalty)
+
+    def with_overrides(self, **kwargs) -> "NetworkConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def noiseless(cls, **kwargs) -> "NetworkConfig":
+        """A deterministic network: no jitter, no contention, no drops.
+
+        With this configuration the physical message stream observed at a
+        receiver is a pure function of the application's communication
+        structure, which is useful for unit tests and for isolating the
+        effect of noise in the Figure 4 ablations.
+        """
+        base = dict(jitter_sigma=0.0, contention=False, drop_probability=0.0)
+        base.update(kwargs)
+        return cls(**base)
+
+
+class NetworkModel:
+    """Stateful network timing model (holds the jitter RNG and link queues)."""
+
+    def __init__(self, config: NetworkConfig | None = None, seed: int | None = None) -> None:
+        self.config = config or NetworkConfig()
+        if seed is not None:
+            self.config = self.config.with_overrides(seed=seed)
+        self._rng = SeededRNG(self.config.seed, "network")
+        # Per-destination time at which the inbound link becomes free again.
+        self._link_free_at: dict[int, float] = {}
+        self.messages_timed = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear link occupancy state and counters (RNG is *not* reseeded)."""
+        self._link_free_at.clear()
+        self.messages_timed = 0
+        self.total_bytes = 0
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to push ``nbytes`` through the link at full bandwidth."""
+        check_non_negative("nbytes", nbytes)
+        return nbytes / self.config.bandwidth
+
+    def base_transfer_time(self, nbytes: int) -> float:
+        """Deterministic part of the transfer time (latency + serialization)."""
+        return self.config.latency + self.serialization_time(nbytes)
+
+    def arrival_time(self, src: int, dst: int, nbytes: int, inject_time: float) -> float:
+        """Compute the arrival time of a message injected at ``inject_time``.
+
+        The computation accounts for base latency, serialization at the
+        configured bandwidth, random jitter, optional retransmission penalty
+        and optional per-destination link contention.  Calling this method
+        consumes random numbers, so call order matters for reproducibility;
+        the transport calls it exactly once per data or control message.
+        """
+        check_non_negative("inject_time", inject_time)
+        cfg = self.config
+        transfer = self.base_transfer_time(nbytes)
+        jitter = self._rng.jitter(cfg.jitter_sigma * cfg.latency)
+        penalty = 0.0
+        if cfg.drop_probability > 0.0 and self._rng.bernoulli(cfg.drop_probability):
+            penalty = cfg.retransmit_penalty
+
+        arrival = inject_time + transfer + jitter + penalty
+
+        if cfg.contention:
+            # Serialise through the destination's inbound channel: the message
+            # cannot start draining into the destination before the channel is
+            # free, and it occupies the channel for its serialization time.
+            free_at = self._link_free_at.get(dst, 0.0)
+            start = max(arrival - self.serialization_time(nbytes), free_at)
+            arrival = start + self.serialization_time(nbytes)
+            self._link_free_at[dst] = arrival
+
+        self.messages_timed += 1
+        self.total_bytes += int(nbytes)
+        return arrival

@@ -1,0 +1,40 @@
+"""Two-level message tracing (the paper's Section 3.1 instrumentation).
+
+The paper instruments MPICH at two levels:
+
+* the **logical** level — MPI calls as they cross from the application into
+  the top of the library; the stream order reflects program structure, and
+* the **physical** level — messages as they actually arrive at the bottom of
+  the library; the stream order additionally reflects network timing noise.
+
+:class:`repro.trace.tracer.TwoLevelTracer` reproduces both.  The runtime
+transport calls its hooks; analysis code extracts per-process sender and
+message-size streams from the recorded traces via
+:mod:`repro.trace.streams`.
+"""
+
+from repro.trace.io import load_traces, save_traces
+from repro.trace.records import TraceRecord
+from repro.trace.streams import (
+    StreamSummary,
+    collective_count,
+    p2p_count,
+    sender_stream,
+    size_stream,
+    summarize_stream,
+)
+from repro.trace.tracer import ProcessTrace, TwoLevelTracer
+
+__all__ = [
+    "TraceRecord",
+    "TwoLevelTracer",
+    "save_traces",
+    "load_traces",
+    "ProcessTrace",
+    "sender_stream",
+    "size_stream",
+    "p2p_count",
+    "collective_count",
+    "summarize_stream",
+    "StreamSummary",
+]

@@ -1,0 +1,149 @@
+"""Trace persistence: save and load per-process traces as JSON lines.
+
+Simulating the larger configurations takes seconds to minutes; analysing the
+resulting streams (prediction sweeps, ablations) is much cheaper and often
+repeated.  These helpers let users persist the two-level traces of a run and
+re-load them later without re-simulating — the same role the original paper's
+trace files played between the instrumented MPICH runs and the off-line
+predictor evaluation.
+
+Format: one JSON object per line.  The first line is a header describing the
+run; every other line is one trace record with a ``level`` field ("logical"
+or "physical").  The format is self-contained and append-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.trace.records import TraceRecord
+from repro.trace.tracer import ProcessTrace, TwoLevelTracer
+
+__all__ = ["save_traces", "load_traces", "save_process_trace", "load_process_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_json(record: TraceRecord, level: str) -> dict:
+    payload = asdict(record)
+    payload["level"] = level
+    return payload
+
+
+def _record_from_json(payload: dict) -> tuple[str, TraceRecord]:
+    level = payload.pop("level")
+    return level, TraceRecord(**payload)
+
+
+def save_process_trace(trace: ProcessTrace, stream: TextIO) -> int:
+    """Write one rank's logical+physical records to an open text stream.
+
+    Returns the number of records written.
+    """
+    count = 0
+    for record in trace.logical:
+        stream.write(json.dumps(_record_to_json(record, "logical")) + "\n")
+        count += 1
+    for record in trace.physical:
+        stream.write(json.dumps(_record_to_json(record, "physical")) + "\n")
+        count += 1
+    return count
+
+
+def load_process_trace(rank: int, lines: Iterable[str]) -> ProcessTrace:
+    """Rebuild one rank's :class:`ProcessTrace` from JSON lines."""
+    trace = ProcessTrace(rank=rank)
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        level, record = _record_from_json(json.loads(line))
+        if record.receiver != rank:
+            continue
+        if level == "logical":
+            trace.logical.append(record)
+        elif level == "physical":
+            trace.physical.append(record)
+        else:
+            raise ValueError(f"unknown trace level {level!r}")
+    trace.sort()
+    return trace
+
+
+def save_traces(
+    tracer: TwoLevelTracer,
+    path: str | Path,
+    metadata: dict | None = None,
+) -> int:
+    """Save every rank's traces to ``path`` (JSON lines).
+
+    Parameters
+    ----------
+    tracer:
+        The finalized tracer of a completed simulation.
+    path:
+        Destination file.
+    metadata:
+        Optional run metadata (workload name, seed, ...) stored in the header
+        line and returned by :func:`load_traces`.
+
+    Returns
+    -------
+    int
+        Total number of records written.
+    """
+    path = Path(path)
+    tracer.finalize()
+    header = {
+        "format": "repro-trace",
+        "version": _FORMAT_VERSION,
+        "nprocs": tracer.nprocs,
+        "metadata": metadata or {},
+    }
+    total = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for trace in tracer.traces:
+            total += save_process_trace(trace, handle)
+    return total
+
+
+def load_traces(path: str | Path) -> tuple[list[ProcessTrace], dict]:
+    """Load traces saved by :func:`save_traces`.
+
+    Returns
+    -------
+    (traces, metadata):
+        One :class:`ProcessTrace` per rank (index = rank) and the metadata
+        dictionary stored at save time.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-trace":
+            raise ValueError(f"{path} is not a repro trace file")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        nprocs = int(header["nprocs"])
+        traces = [ProcessTrace(rank=rank) for rank in range(nprocs)]
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            level, record = _record_from_json(json.loads(line))
+            if not (0 <= record.receiver < nprocs):
+                raise ValueError(f"record receiver {record.receiver} out of range")
+            target = traces[record.receiver]
+            (target.logical if level == "logical" else target.physical).append(record)
+    for trace in traces:
+        trace.sort()
+    return traces, header.get("metadata", {})

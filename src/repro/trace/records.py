@@ -1,0 +1,41 @@
+"""Trace record type shared by the logical and physical tracers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One received message, as seen by one of the two trace levels.
+
+    Attributes
+    ----------
+    receiver:
+        Rank that received the message.
+    sender:
+        Rank that sent the message.
+    nbytes:
+        Message size in bytes.
+    tag:
+        Message tag (collective-internal tags are >= ``COLLECTIVE_TAG_BASE``).
+    kind:
+        ``"p2p"`` or ``"collective"``.
+    time:
+        For physical records, the arrival time; for logical records, the time
+        at which the receive completed at the application level.
+    seq:
+        Position of the record within its stream (0-based).  For logical
+        records this is the program-order index of the receive; for physical
+        records it is the arrival-order index.
+    """
+
+    receiver: int
+    sender: int
+    nbytes: int
+    tag: int
+    kind: str
+    time: float
+    seq: int

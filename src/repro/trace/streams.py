@@ -1,0 +1,142 @@
+"""Stream extraction and per-process summary statistics.
+
+The predictor (and the paper's Table 1) works on two integer streams per
+receiving process:
+
+* the **sender stream**: the sequence of source ranks of received messages;
+* the **size stream**: the sequence of message sizes.
+
+These helpers turn a list of :class:`repro.trace.records.TraceRecord` into
+NumPy arrays and compute the Table-1 statistics (message counts by kind,
+number of distinct senders and sizes, dominant values).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.mpi.constants import KIND_COLLECTIVE, KIND_P2P
+from repro.trace.records import TraceRecord
+
+__all__ = [
+    "sender_stream",
+    "size_stream",
+    "p2p_count",
+    "collective_count",
+    "summarize_stream",
+    "StreamSummary",
+]
+
+
+def _filtered(records: Iterable[TraceRecord], kinds: Sequence[str] | None) -> list[TraceRecord]:
+    if kinds is None:
+        return list(records)
+    allowed = set(kinds)
+    return [r for r in records if r.kind in allowed]
+
+
+def sender_stream(
+    records: Iterable[TraceRecord], kinds: Sequence[str] | None = None
+) -> np.ndarray:
+    """Return the sequence of sender ranks as an int64 array."""
+    return np.array([r.sender for r in _filtered(records, kinds)], dtype=np.int64)
+
+
+def size_stream(
+    records: Iterable[TraceRecord], kinds: Sequence[str] | None = None
+) -> np.ndarray:
+    """Return the sequence of message sizes (bytes) as an int64 array."""
+    return np.array([r.nbytes for r in _filtered(records, kinds)], dtype=np.int64)
+
+
+def p2p_count(records: Iterable[TraceRecord]) -> int:
+    """Number of point-to-point messages in the trace."""
+    return sum(1 for r in records if r.kind == KIND_P2P)
+
+
+def collective_count(records: Iterable[TraceRecord]) -> int:
+    """Number of collective-generated messages in the trace."""
+    return sum(1 for r in records if r.kind == KIND_COLLECTIVE)
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Table-1 style statistics of one receiving process' message stream.
+
+    Attributes
+    ----------
+    total_messages:
+        Total number of received messages (p2p + collective).
+    p2p_messages / collective_messages:
+        Counts by message kind.
+    num_distinct_senders / num_distinct_sizes:
+        Number of distinct values appearing in the sender / size streams.
+    frequent_senders / frequent_sizes:
+        Distinct values covering at least ``coverage`` of the stream, most
+        frequent first.  The paper's Table 1 footnote says it reports "the
+        number of the frequently appearing sender and message sizes", so the
+        analysis layer reports both the raw distinct counts and these
+        coverage-filtered counts.
+    coverage:
+        The coverage threshold used for the frequent-value lists.
+    """
+
+    total_messages: int
+    p2p_messages: int
+    collective_messages: int
+    num_distinct_senders: int
+    num_distinct_sizes: int
+    frequent_senders: tuple[int, ...]
+    frequent_sizes: tuple[int, ...]
+    coverage: float
+
+    @property
+    def num_frequent_senders(self) -> int:
+        """Number of senders needed to cover ``coverage`` of the stream."""
+        return len(self.frequent_senders)
+
+    @property
+    def num_frequent_sizes(self) -> int:
+        """Number of sizes needed to cover ``coverage`` of the stream."""
+        return len(self.frequent_sizes)
+
+
+def _frequent_values(values: Sequence[int], coverage: float) -> tuple[int, ...]:
+    """Smallest set of most-frequent values covering ``coverage`` of the data."""
+    if not len(values):
+        return ()
+    counts = Counter(int(v) for v in values)
+    total = sum(counts.values())
+    chosen: list[int] = []
+    covered = 0
+    for value, count in counts.most_common():
+        chosen.append(value)
+        covered += count
+        if covered / total >= coverage:
+            break
+    return tuple(chosen)
+
+
+def summarize_stream(
+    records: Sequence[TraceRecord], coverage: float = 0.98
+) -> StreamSummary:
+    """Compute Table-1 statistics for one process' received-message trace."""
+    if not (0.0 < coverage <= 1.0):
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    records = list(records)
+    senders = [r.sender for r in records]
+    sizes = [r.nbytes for r in records]
+    return StreamSummary(
+        total_messages=len(records),
+        p2p_messages=p2p_count(records),
+        collective_messages=collective_count(records),
+        num_distinct_senders=len(set(senders)),
+        num_distinct_sizes=len(set(sizes)),
+        frequent_senders=_frequent_values(senders, coverage),
+        frequent_sizes=_frequent_values(sizes, coverage),
+        coverage=coverage,
+    )

@@ -1,0 +1,32 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The utilities are intentionally dependency-light: a seeded random number
+helper, ASCII table / bar-chart rendering used by the analysis layer (the
+paper's figures are reproduced as data plus text renderings, no matplotlib),
+and small validation helpers used at public API boundaries.
+"""
+
+from repro.util.rng import SeededRNG, derive_seed, spawn_rng
+from repro.util.text import ascii_bar_chart, ascii_table, format_float, wrap_title
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_rank,
+    check_type,
+)
+
+__all__ = [
+    "SeededRNG",
+    "derive_seed",
+    "spawn_rng",
+    "ascii_table",
+    "ascii_bar_chart",
+    "format_float",
+    "wrap_title",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_rank",
+    "check_type",
+]

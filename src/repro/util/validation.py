@@ -1,0 +1,60 @@
+"""Argument-validation helpers used at public API boundaries.
+
+These raise ``ValueError``/``TypeError`` with messages naming the offending
+parameter, so user mistakes (negative message size, rank out of range, ...)
+fail fast and clearly rather than producing confusing simulator states.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_rank",
+    "check_type",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Ensure ``value > 0``, returning it for convenient inline use."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Ensure ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_rank(name: str, rank: int, size: int) -> int:
+    """Ensure ``rank`` is a valid rank for a communicator of ``size`` ranks."""
+    if not isinstance(rank, (int,)) or isinstance(rank, bool):
+        raise TypeError(f"{name} must be an int, got {type(rank).__name__}")
+    if not (0 <= rank < size):
+        raise ValueError(f"{name} must be in [0, {size}), got {rank}")
+    return rank
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Ensure ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {names}, got {type(value).__name__}")
+    return value

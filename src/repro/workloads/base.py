@@ -1,0 +1,130 @@
+"""Base class shared by all workload skeletons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.mpi.communicator import RankContext
+from repro.mpi.ops import ComputeOp, Operation
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["Workload", "WorkloadDescription"]
+
+
+@dataclass(frozen=True)
+class WorkloadDescription:
+    """Static description of a workload instance (used by Table 1 and docs)."""
+
+    name: str
+    nprocs: int
+    iterations: int
+    scale: float
+    representative_rank: int
+    parameters: dict
+
+
+class Workload:
+    """A communication skeleton that can be run on the simulator.
+
+    Subclasses must define :attr:`name`, :attr:`paper_process_counts`,
+    :meth:`default_iterations` and :meth:`program`.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks.
+    scale:
+        Fraction of the paper-scale iteration count to run (1.0 = class-A-like
+        message volumes).  Iteration counts are rounded up so even tiny scales
+        execute at least one iteration.
+    iterations:
+        Explicit iteration count; overrides ``scale`` when given.
+    compute_time:
+        Mean virtual computation time (seconds) inserted between communication
+        phases.
+    compute_noise:
+        Log-normal sigma of the per-phase compute-time noise.  Compute noise
+        de-synchronises ranks and is one of the two sources (with network
+        jitter) of physical-stream reordering.
+    """
+
+    #: Workload name used by the registry and the analysis tables.
+    name: str = "abstract"
+    #: Process counts the paper's Table 1 reports for this application.
+    paper_process_counts: tuple[int, ...] = ()
+
+    def __init__(
+        self,
+        nprocs: int,
+        scale: float = 1.0,
+        iterations: int | None = None,
+        compute_time: float = 20.0e-6,
+        compute_noise: float = 0.05,
+    ) -> None:
+        check_positive("nprocs", nprocs)
+        check_positive("scale", scale)
+        check_non_negative("compute_time", compute_time)
+        check_non_negative("compute_noise", compute_noise)
+        self.nprocs = int(nprocs)
+        self.scale = float(scale)
+        self.compute_time = float(compute_time)
+        self.compute_noise = float(compute_noise)
+        if iterations is None:
+            iterations = max(1, round(self.default_iterations() * self.scale))
+        check_positive("iterations", iterations)
+        self.iterations = int(iterations)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def default_iterations(self) -> int:
+        """Paper-scale (class A) iteration count."""
+        raise NotImplementedError
+
+    def program(self, ctx: RankContext) -> Generator[Operation, object, None]:
+        """The rank program (a generator of MPI operations)."""
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Check that ``nprocs`` (and other parameters) are legal."""
+
+    def representative_rank(self) -> int:
+        """The receiving rank whose streams the analysis reports by default.
+
+        The paper reports streams "received by a process"; for BT it shows
+        process 3.  Subclasses override this to pick a rank whose neighbour
+        count matches the paper's Table 1 row.
+        """
+        return min(3, self.nprocs - 1)
+
+    def parameters(self) -> dict:
+        """Extra workload-specific parameters, for documentation purposes."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def compute(self, ctx: RankContext, units: float = 1.0) -> ComputeOp:
+        """A compute phase of ``units`` times the base compute time, with noise."""
+        base = self.compute_time * units
+        noisy = base * ctx.rng.lognormal_factor(self.compute_noise)
+        return ComputeOp(seconds=noisy)
+
+    def describe(self) -> WorkloadDescription:
+        """Return the static description of this instance."""
+        return WorkloadDescription(
+            name=self.name,
+            nprocs=self.nprocs,
+            iterations=self.iterations,
+            scale=self.scale,
+            representative_rank=self.representative_rank(),
+            parameters=self.parameters(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(nprocs={self.nprocs}, iterations={self.iterations}, "
+            f"scale={self.scale})"
+        )

@@ -1,0 +1,131 @@
+"""NAS CG communication skeleton.
+
+CG (Conjugate Gradient) computes the smallest eigenvalue of a sparse
+symmetric matrix.  The NPB implementation arranges the processes in a
+``num_proc_rows x num_proc_cols`` grid (powers of two) and, in every CG
+iteration, performs
+
+* two scalar dot-product reductions across the process row, implemented as
+  ``log2(num_proc_cols)`` pairwise exchanges of 8 bytes each,
+* a reduction of the partial matrix-vector product across the row,
+  implemented as ``log2(num_proc_cols)`` pairwise exchanges of a vector
+  block, and
+* one exchange of the vector block with the "transpose" partner.
+
+Everything is point-to-point — the paper's Table 1 reports zero collective
+messages for CG — and only two message sizes appear (8-byte scalars and the
+vector block), with a small fixed set of partners.  That structure is what
+makes the CG streams trivially periodic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.mpi.communicator import RankContext
+from repro.mpi.ops import Operation
+from repro.workloads.base import Workload
+from repro.workloads.topology import is_power_of_two, log2_int
+
+__all__ = ["CGWorkload"]
+
+_TAG_SCALAR_A = 20
+_TAG_SCALAR_B = 21
+_TAG_VECTOR_REDUCE = 22
+_TAG_TRANSPOSE = 23
+
+#: Matrix order of the class A problem; the vector block a process exchanges
+#: is roughly ``na / num_proc_rows`` doubles.
+_CLASS_A_NA = 14000
+
+
+class CGWorkload(Workload):
+    """NAS CG skeleton (power-of-two process counts)."""
+
+    name = "cg"
+    paper_process_counts = (4, 8, 16, 32)
+
+    #: Number of CG iterations executed inside every outer (inverse power
+    #: method) iteration in class A.
+    INNER_ITERATIONS = 25
+
+    def default_iterations(self) -> int:
+        return 15  # class A outer iterations
+
+    def validate(self) -> None:
+        if not is_power_of_two(self.nprocs):
+            raise ValueError(f"CG requires a power-of-two process count, got {self.nprocs}")
+
+    def representative_rank(self) -> int:
+        # Rank 0 sits on the diagonal of the process grid and skips the
+        # transpose exchange; rank 1 sees the full per-iteration pattern.
+        return min(1, self.nprocs - 1)
+
+    # ------------------------------------------------------------------
+    def _grid(self) -> tuple[int, int]:
+        """(num_proc_cols, num_proc_rows), columns >= rows, both powers of two."""
+        log_p = log2_int(self.nprocs)
+        log_cols = (log_p + 1) // 2
+        num_cols = 1 << log_cols
+        num_rows = self.nprocs // num_cols
+        return num_cols, num_rows
+
+    def _vector_bytes(self) -> int:
+        _cols, rows = self._grid()
+        return max(1024, (_CLASS_A_NA // max(rows, 1)) * 8)
+
+    def parameters(self) -> dict:
+        cols, rows = self._grid()
+        return {
+            "grid": (cols, rows),
+            "inner_iterations": self.INNER_ITERATIONS,
+            "scalar_bytes": 8,
+            "vector_bytes": self._vector_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    def program(self, ctx: RankContext) -> Generator[Operation, object, None]:
+        comm = ctx.comm
+        rank = ctx.rank
+        num_cols, num_rows = self._grid()
+        col = rank % num_cols
+        row = rank // num_cols
+        l2npcols = log2_int(num_cols)
+        vector_bytes = self._vector_bytes()
+
+        def row_partner(stage: int) -> int:
+            """Partner for the ``stage``-th pairwise exchange across the row."""
+            partner_col = col ^ (1 << stage)
+            return row * num_cols + partner_col
+
+        # The transpose partner swaps the row/column position.  For non-square
+        # grids (num_cols == 2 * num_rows) the NPB code pairs each process
+        # with one in the mirrored half; a fixed distinct partner preserves
+        # the "one extra vector exchange per iteration with a stable peer"
+        # structure that matters for predictability.
+        if num_cols == num_rows:
+            transpose_partner = col * num_cols + row
+        else:
+            transpose_partner = (rank + self.nprocs // 2) % self.nprocs
+
+        for _outer in range(self.iterations):
+            for _inner in range(self.INNER_ITERATIONS + 1):
+                # Matrix-vector product partial-sum reduction across the row.
+                yield self.compute(ctx, 1.0)
+                for stage in range(l2npcols):
+                    yield from comm.sendrecv(
+                        row_partner(stage), vector_bytes, row_partner(stage), tag=_TAG_VECTOR_REDUCE
+                    )
+                # Exchange the reduced block with the transpose partner.
+                if transpose_partner != rank:
+                    yield from comm.sendrecv(
+                        transpose_partner, vector_bytes, transpose_partner, tag=_TAG_TRANSPOSE
+                    )
+                # Two scalar dot products (rho and q.z), each reduced across the row.
+                for tag in (_TAG_SCALAR_A, _TAG_SCALAR_B):
+                    yield self.compute(ctx, 0.2)
+                    for stage in range(l2npcols):
+                        yield from comm.sendrecv(row_partner(stage), 8, row_partner(stage), tag=tag)
+            # Outer iteration: norm of the residual, reduced across the row.
+            for stage in range(l2npcols):
+                yield from comm.sendrecv(row_partner(stage), 8, row_partner(stage), tag=_TAG_SCALAR_A)

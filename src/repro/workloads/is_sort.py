@@ -1,0 +1,95 @@
+"""NAS IS communication skeleton.
+
+IS (Integer Sort) bucket-sorts a large key array.  Its communication is
+almost entirely collective — the paper's Table 1 shows only 11 point-to-point
+messages per process against hundreds of collective messages — and every rank
+ends up receiving from every other rank (``# of senders = P``), because each
+iteration performs:
+
+* an ``allreduce`` of the per-bucket key counts,
+* an ``alltoall`` of the send counts, and
+* an ``alltoallv`` redistributing the keys themselves,
+
+followed by a single point-to-point message passing the boundary key to the
+next rank for the final verification step.
+
+This collective fan-in is what makes IS the hardest case for physical-level
+prediction in the paper (Figure 4): the *logical* order in which the library
+receives the per-peer blocks of an alltoall is deterministic, but the
+*physical* arrival order under heavy fan-in is essentially random.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.mpi.communicator import RankContext
+from repro.mpi.ops import Operation
+from repro.workloads.base import Workload
+
+__all__ = ["ISWorkload"]
+
+_TAG_BOUNDARY = 40
+
+#: Class A problem: 2**23 keys, 2**10 buckets.
+_TOTAL_KEYS = 2**23
+_KEY_BYTES = 4
+_NUM_BUCKETS = 2**10
+
+
+class ISWorkload(Workload):
+    """NAS IS skeleton (collective-dominated bucket sort)."""
+
+    name = "is"
+    paper_process_counts = (4, 8, 16, 32)
+
+    def default_iterations(self) -> int:
+        return 11  # 10 timed iterations plus one warm-up
+
+    def representative_rank(self) -> int:
+        return 0
+
+    # ------------------------------------------------------------------
+    def _bucket_bytes(self) -> int:
+        """Payload of the bucket-count allreduce (one int per bucket)."""
+        return _NUM_BUCKETS * _KEY_BYTES
+
+    def _count_bytes(self) -> int:
+        """Payload of the per-pair send-count exchange."""
+        return (_NUM_BUCKETS // self.nprocs) * _KEY_BYTES if self.nprocs <= _NUM_BUCKETS else _KEY_BYTES
+
+    def _key_block_bytes(self) -> int:
+        """Payload each rank sends to each peer in the key redistribution."""
+        return max(_KEY_BYTES, (_TOTAL_KEYS // (self.nprocs * self.nprocs)) * _KEY_BYTES)
+
+    def parameters(self) -> dict:
+        return {
+            "total_keys": _TOTAL_KEYS,
+            "bucket_bytes": self._bucket_bytes(),
+            "count_bytes": self._count_bytes(),
+            "key_block_bytes": self._key_block_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    def program(self, ctx: RankContext) -> Generator[Operation, object, None]:
+        comm = ctx.comm
+        rank = ctx.rank
+        size = self.nprocs
+        key_block = self._key_block_bytes()
+
+        for _iteration in range(self.iterations):
+            # Local bucketisation of the keys.
+            yield self.compute(ctx, 4.0)
+            # Global bucket sizes.
+            yield from comm.allreduce(self._bucket_bytes())
+            # How many keys each rank will send to each other rank.
+            yield from comm.alltoall(self._count_bytes())
+            # Redistribute the keys themselves.
+            yield from comm.alltoallv([key_block] * size)
+            # Local ranking of the received keys.
+            yield self.compute(ctx, 2.0)
+            # Boundary key handed to the right neighbour for verification.
+            if size > 1:
+                right = (rank + 1) % size
+                left = (rank - 1) % size
+                yield from comm.sendrecv(right, 8, left, tag=_TAG_BOUNDARY)

@@ -1,0 +1,62 @@
+"""Convenience entry point: run a workload on the simulator.
+
+This is the main "experiment driver" of the reproduction: it wires a workload
+skeleton, the machine/network models, the flow-control policy and the
+two-level tracer into a :class:`repro.sim.engine.Simulator` and runs it to
+completion, returning the :class:`repro.sim.engine.SimulationResult` whose
+traces feed the predictor evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig, NetworkModel
+from repro.trace.tracer import TwoLevelTracer
+from repro.workloads.base import Workload
+
+__all__ = ["run_workload"]
+
+
+def run_workload(
+    workload: Workload,
+    seed: int = 12345,
+    machine: MachineConfig | None = None,
+    network: NetworkModel | NetworkConfig | None = None,
+    policy=None,
+    tracer: TwoLevelTracer | bool | None = True,
+    max_events: int | None = None,
+) -> SimulationResult:
+    """Run ``workload`` and return the simulation result.
+
+    Parameters
+    ----------
+    workload:
+        The workload skeleton instance (defines ``nprocs`` and the program).
+    seed:
+        Base seed; it seeds both the per-rank compute-noise RNGs and, unless a
+        pre-built network model is passed, the network jitter RNG.
+    machine, network:
+        Cost models; defaults are the standard
+        :class:`MachineConfig`/:class:`NetworkConfig`.
+    policy:
+        Optional flow-control policy (see :mod:`repro.runtime.protocol` and
+        :mod:`repro.predictive`).
+    tracer:
+        ``True`` (default) records logical and physical traces; ``False``
+        disables tracing; an explicit :class:`TwoLevelTracer` is used as-is.
+    max_events:
+        Optional safety bound on the number of simulation events.
+    """
+    if network is None:
+        network = NetworkConfig(seed=seed)
+    simulator = Simulator(
+        nprocs=workload.nprocs,
+        machine=machine,
+        network=network,
+        tracer=tracer,
+        policy=policy,
+        seed=seed,
+        max_events=max_events,
+    )
+    return simulator.run([workload.program])

@@ -1,0 +1,89 @@
+"""Process-grid topology helpers shared by the workload skeletons.
+
+The NAS and Sweep3D codes arrange their processes in 1D/2D logical grids and
+communicate with grid neighbours.  These helpers map ranks to grid
+coordinates and back, and enumerate neighbours with or without periodic
+(torus) wrap-around.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "square_side",
+    "factor_2d",
+    "grid_coords",
+    "grid_rank",
+    "neighbor",
+    "is_power_of_two",
+    "log2_int",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Whether ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2 of a power of two (raises for other values)."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def square_side(nprocs: int) -> int:
+    """Side length of a square process grid (raises if ``nprocs`` isn't square)."""
+    side = math.isqrt(nprocs)
+    if side * side != nprocs:
+        raise ValueError(f"nprocs must be a perfect square, got {nprocs}")
+    return side
+
+
+def factor_2d(nprocs: int) -> tuple[int, int]:
+    """Factor ``nprocs`` into the most square 2D grid ``(px, py)`` with px >= py."""
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    best = (nprocs, 1)
+    for py in range(1, math.isqrt(nprocs) + 1):
+        if nprocs % py == 0:
+            best = (nprocs // py, py)
+    return best
+
+
+def grid_coords(rank: int, dims: tuple[int, int]) -> tuple[int, int]:
+    """Coordinates ``(x, y)`` of ``rank`` in a row-major grid of ``dims``."""
+    px, py = dims
+    if not (0 <= rank < px * py):
+        raise ValueError(f"rank {rank} out of range for grid {dims}")
+    return rank % px, rank // px
+
+
+def grid_rank(x: int, y: int, dims: tuple[int, int]) -> int:
+    """Rank of coordinates ``(x, y)`` in a row-major grid of ``dims``."""
+    px, py = dims
+    if not (0 <= x < px and 0 <= y < py):
+        raise ValueError(f"coordinates ({x}, {y}) out of range for grid {dims}")
+    return y * px + x
+
+
+def neighbor(
+    rank: int, dims: tuple[int, int], dx: int, dy: int, periodic: bool = True
+) -> int | None:
+    """Rank of the neighbour at offset ``(dx, dy)``.
+
+    With ``periodic=True`` the grid is a torus (BT's multi-partition
+    decomposition); otherwise out-of-grid neighbours are ``None`` (LU and
+    Sweep3D use open boundaries, which is why their edge processes receive
+    from fewer senders).
+    """
+    px, py = dims
+    x, y = grid_coords(rank, dims)
+    nx, ny = x + dx, y + dy
+    if periodic:
+        nx %= px
+        ny %= py
+    elif not (0 <= nx < px and 0 <= ny < py):
+        return None
+    return grid_rank(nx, ny, dims)

@@ -1,0 +1,84 @@
+"""Tests for the scalability projections (repro.analysis.scaling)."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    project_buffer_memory,
+    project_unexpected_exposure,
+    render_projection_table,
+    working_set_from_run,
+)
+from repro.sim.machine import MachineConfig
+
+
+class TestBufferMemoryProjection:
+    def test_paper_blue_gene_example(self):
+        # The paper: 16 KB per peer x 10 000 processes ~= 160 MB per process.
+        [projection] = project_buffer_memory([10_000], working_set=6)
+        assert projection.baseline_bytes == 9_999 * 16 * 1024
+        assert projection.baseline_bytes > 150 * 1024 * 1024
+        assert projection.predictive_bytes == 6 * 16 * 1024
+        assert projection.reduction_factor > 1000
+
+    def test_predictive_memory_is_flat_in_job_size(self):
+        projections = project_buffer_memory([16, 256, 4096], working_set=8)
+        predictive = {p.predictive_bytes for p in projections}
+        assert len(predictive) == 1
+        baselines = [p.baseline_bytes for p in projections]
+        assert baselines == sorted(baselines)
+
+    def test_working_set_clipped_to_peers(self):
+        [projection] = project_buffer_memory([4], working_set=100)
+        assert projection.predictive_bytes == 3 * MachineConfig().eager_buffer_bytes
+
+    def test_custom_machine_buffer_size(self):
+        machine = MachineConfig(eager_buffer_bytes=1024)
+        [projection] = project_buffer_memory([11], working_set=2, machine=machine)
+        assert projection.baseline_bytes == 10 * 1024
+        assert projection.predictive_bytes == 2 * 1024
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            project_buffer_memory([0], working_set=2)
+        with pytest.raises(ValueError):
+            project_buffer_memory([4], working_set=0)
+
+    def test_render_table(self):
+        text = render_projection_table(project_buffer_memory([64, 1024], working_set=4))
+        assert "nprocs" in text and "reduction" in text and "1024" in text
+
+
+class TestWorkingSetFromRun:
+    def test_matches_distinct_senders_plus_cache(self, bt9_run):
+        workload, result = bt9_run
+        from repro.trace.streams import summarize_stream
+
+        summary = summarize_stream(result.trace_for(3).logical)
+        assert working_set_from_run(result, 3) == summary.num_distinct_senders + 2
+        assert working_set_from_run(result, 3, extra_recent=0) == summary.num_distinct_senders
+
+    def test_working_set_much_smaller_than_large_jobs(self, bt9_run):
+        _, result = bt9_run
+        working_set = working_set_from_run(result, 3)
+        [projection] = project_buffer_memory([10_000], working_set=working_set)
+        assert projection.reduction_factor > 500
+
+
+class TestUnexpectedExposure:
+    def test_unsolicited_grows_linearly(self):
+        rows = project_unexpected_exposure([8, 16], message_bytes=4096, messages_per_sender=4)
+        assert rows[0]["unsolicited_bytes"] == 7 * 4 * 4096
+        assert rows[1]["unsolicited_bytes"] == 15 * 4 * 4096
+
+    def test_credit_bound_caps_per_peer_exposure(self):
+        [row] = project_unexpected_exposure(
+            [1001], message_bytes=1 << 20, messages_per_sender=8, credit_cap_bytes=64 * 1024
+        )
+        assert row["credit_bounded_bytes"] == 1000 * 64 * 1024
+        assert row["credit_bounded_bytes"] < row["unsolicited_bytes"]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            project_unexpected_exposure([4], message_bytes=-1)
+        with pytest.raises(ValueError):
+            project_unexpected_exposure([0], message_bytes=8)

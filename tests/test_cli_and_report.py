@@ -1,0 +1,137 @@
+"""Tests for the CLI (repro.cli) and the report builder (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+from repro.analysis.figures_accuracy import figure3
+from repro.analysis.report import (
+    ReproductionReport,
+    accuracy_figure_table,
+    build_report,
+    dict_rows_table,
+)
+from repro.cli import build_parser, main
+
+
+class TestReportHelpers:
+    def test_dict_rows_table_formats_floats(self):
+        text = dict_rows_table("t", [{"a": 1.23456, "b": "x"}])
+        assert "1.235" in text and "x" in text
+
+    def test_dict_rows_table_empty(self):
+        assert "(no data)" in dict_rows_table("t", [])
+
+    def test_accuracy_figure_table(self):
+        context = ExperimentContext(seed=5, scale=0.03)
+        configs = [c for c in context.configurations() if c.label == "bt.4"]
+        figure = figure3(context, configurations=configs)
+        text = accuracy_figure_table(figure, "note")
+        assert "bt.4" in text and "sender +1" in text
+
+    def test_report_object_accessors(self):
+        report = ReproductionReport(seed=1, scale=0.1)
+        report.add("Alpha", "body-a")
+        report.add("Beta", "body-b")
+        assert report.section("Alpha").body == "body-a"
+        with pytest.raises(KeyError):
+            report.section("Gamma")
+        rendered = report.render()
+        assert "## Alpha" in rendered and "## Beta" in rendered
+        assert "seed=1" in rendered
+
+
+class TestBuildReport:
+    def test_figures_only_report(self):
+        # Small scale, extensions/ablations skipped: fast structural check.
+        context = ExperimentContext(seed=5, scale=0.03)
+        report = build_report(
+            context=context, include_extensions=False, include_ablations=False
+        )
+        titles = [section.title for section in report.sections]
+        assert titles == ["Table 1", "Figure 1", "Figure 2", "Figure 3", "Figure 4"]
+        assert "bt.9" in report.section("Table 1").body
+        assert report.elapsed_seconds > 0.0
+
+
+class TestCLIParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "bt", "--nprocs", "4", "--scale", "0.1"])
+        assert args.command == "run"
+        assert args.workload == "bt" and args.nprocs == 4
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-a-workload", "--nprocs", "4"])
+
+    def test_report_flags(self):
+        args = build_parser().parse_args(["report", "--skip-extensions", "--skip-ablations"])
+        assert args.skip_extensions and args.skip_ablations
+
+
+class TestCLICommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bt" in out and "sw.32" in out
+
+    def test_run_and_save_traces(self, tmp_path, capsys):
+        trace_file = tmp_path / "bt4.jsonl"
+        code = main(
+            [
+                "run",
+                "bt",
+                "--nprocs",
+                "4",
+                "--scale",
+                "0.05",
+                "--seed",
+                "7",
+                "--save-traces",
+                str(trace_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "messages_sent" in out
+        assert trace_file.exists()
+
+        # And predict from the saved traces.
+        code = main(["predict", "--traces", str(trace_file), "--rank", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prediction accuracy" in out
+        assert "+5" in out
+
+    def test_predict_by_simulation(self, capsys):
+        code = main(
+            ["predict", "--workload", "ring-exchange", "--nprocs", "4", "--scale", "0.2"]
+        )
+        assert code == 0
+        assert "sender" in capsys.readouterr().out
+
+    def test_predict_without_source_errors(self, capsys):
+        assert main(["predict"]) == 2
+        assert "requires" in capsys.readouterr().err
+
+    def test_predict_rank_out_of_range(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        main(
+            ["run", "ring-exchange", "--nprocs", "4", "--scale", "0.05", "--save-traces", str(trace_file)]
+        )
+        capsys.readouterr()
+        assert main(["predict", "--traces", str(trace_file), "--rank", "9"]) == 2
+
+    def test_table1_small_scale(self, capsys):
+        assert main(["table1", "--scale", "0.02", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "bt.25" in out and "paper" in out
+
+    def test_run_with_jitter_override(self, capsys):
+        code = main(
+            ["run", "ring-exchange", "--nprocs", "4", "--scale", "0.05", "--jitter", "0.0"]
+        )
+        assert code == 0

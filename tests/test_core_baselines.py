@@ -1,0 +1,162 @@
+"""Tests for the baseline predictors (repro.core.baselines)."""
+
+import pytest
+
+from repro.core.baselines import (
+    CyclePredictor,
+    LastValuePredictor,
+    MarkovPredictor,
+    MostFrequentPredictor,
+    StridePredictor,
+)
+
+
+class TestLastValue:
+    def test_no_observation(self):
+        assert LastValuePredictor().predict(3) == [None, None, None]
+
+    def test_repeats_last(self):
+        predictor = LastValuePredictor()
+        predictor.observe(5)
+        predictor.observe(7)
+        assert predictor.predict(3) == [7, 7, 7]
+
+    def test_reset(self):
+        predictor = LastValuePredictor()
+        predictor.observe(5)
+        predictor.reset()
+        assert predictor.predict(1) == [None]
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            LastValuePredictor().predict(0)
+
+
+class TestMostFrequent:
+    def test_majority_value(self):
+        predictor = MostFrequentPredictor(window_size=10)
+        predictor.observe_many([1, 1, 1, 2, 3])
+        assert predictor.predict(2) == [1, 1]
+
+    def test_sliding_window_evicts(self):
+        predictor = MostFrequentPredictor(window_size=3)
+        predictor.observe_many([1, 1, 1, 2, 2, 2])
+        assert predictor.predict(1) == [2]
+
+    def test_tie_broken_towards_recent(self):
+        predictor = MostFrequentPredictor(window_size=10)
+        predictor.observe_many([1, 2])
+        assert predictor.predict(1) == [2]
+
+    def test_empty(self):
+        assert MostFrequentPredictor().predict(1) == [None]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MostFrequentPredictor(window_size=0)
+
+    def test_reset(self):
+        predictor = MostFrequentPredictor()
+        predictor.observe(1)
+        predictor.reset()
+        assert predictor.predict(1) == [None]
+
+
+class TestCycle:
+    def test_learns_successor(self):
+        predictor = CyclePredictor()
+        predictor.observe_many([1, 2, 3, 1])
+        assert predictor.predict(1) == [2]
+
+    def test_multi_step_walks_cycle(self):
+        predictor = CyclePredictor()
+        predictor.observe_many([1, 2, 3, 1, 2, 3, 1])
+        assert predictor.predict(5) == [2, 3, 1, 2, 3]
+
+    def test_unknown_value_gives_none(self):
+        predictor = CyclePredictor()
+        predictor.observe_many([1, 2])
+        assert predictor.predict(3) == [None, None, None]
+
+    def test_reset(self):
+        predictor = CyclePredictor()
+        predictor.observe_many([1, 2, 1])
+        predictor.reset()
+        assert predictor.predict(1) == [None]
+
+
+class TestMarkov:
+    def test_learns_order2_context(self):
+        predictor = MarkovPredictor(order=2)
+        predictor.observe_many([1, 2, 3] * 5)
+        # context (2, 3) -> 1
+        assert predictor.predict(1) == [1]
+
+    def test_multi_step_rollout(self):
+        predictor = MarkovPredictor(order=2)
+        predictor.observe_many([1, 2, 3] * 5)
+        assert predictor.predict(4) == [1, 2, 3, 1]
+
+    def test_insufficient_context(self):
+        predictor = MarkovPredictor(order=3)
+        predictor.observe_many([1, 2])
+        assert predictor.predict(2) == [None, None]
+
+    def test_unseen_context(self):
+        predictor = MarkovPredictor(order=1)
+        predictor.observe_many([1, 2])
+        # last value 2 has no recorded successor yet
+        assert predictor.predict(1) == [None]
+
+    def test_most_likely_continuation_wins(self):
+        predictor = MarkovPredictor(order=1)
+        predictor.observe_many([1, 2, 1, 2, 1, 3, 1])
+        assert predictor.predict(1) == [2]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(order=0)
+
+    def test_reset(self):
+        predictor = MarkovPredictor(order=1)
+        predictor.observe_many([1, 2, 1])
+        predictor.reset()
+        assert predictor.predict(1) == [None]
+
+
+class TestStride:
+    def test_arithmetic_progression(self):
+        predictor = StridePredictor()
+        predictor.observe_many([10, 20, 30])
+        assert predictor.predict(3) == [40, 50, 60]
+
+    def test_constant_stream(self):
+        predictor = StridePredictor()
+        predictor.observe_many([5, 5, 5])
+        assert predictor.predict(2) == [5, 5]
+
+    def test_single_observation_predicts_same(self):
+        predictor = StridePredictor()
+        predictor.observe(9)
+        assert predictor.predict(2) == [9, 9]
+
+    def test_empty(self):
+        assert StridePredictor().predict(1) == [None]
+
+    def test_reset(self):
+        predictor = StridePredictor()
+        predictor.observe_many([1, 2])
+        predictor.reset()
+        assert predictor.predict(1) == [None]
+
+
+class TestNames:
+    def test_all_named_distinctly(self):
+        names = {
+            LastValuePredictor().name,
+            MostFrequentPredictor().name,
+            CyclePredictor().name,
+            MarkovPredictor().name,
+            StridePredictor().name,
+        }
+        assert len(names) == 5

@@ -1,0 +1,89 @@
+"""Tests for repro.core.circular_buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.circular_buffer import CircularBuffer
+
+
+class TestCircularBuffer:
+    def test_empty(self):
+        buffer = CircularBuffer(4)
+        assert len(buffer) == 0
+        assert not buffer.full
+        assert buffer.to_array().tolist() == []
+
+    def test_append_below_capacity(self):
+        buffer = CircularBuffer(4)
+        buffer.extend([1, 2, 3])
+        assert len(buffer) == 3
+        assert buffer.to_array().tolist() == [1, 2, 3]
+
+    def test_wraparound_keeps_most_recent(self):
+        buffer = CircularBuffer(3)
+        buffer.extend([1, 2, 3, 4, 5])
+        assert buffer.full
+        assert buffer.to_array().tolist() == [3, 4, 5]
+
+    def test_total_appended_counts_everything(self):
+        buffer = CircularBuffer(2)
+        buffer.extend(range(10))
+        assert buffer.total_appended == 10
+        assert len(buffer) == 2
+
+    def test_getitem_chronological(self):
+        buffer = CircularBuffer(3)
+        buffer.extend([10, 20, 30, 40])
+        assert buffer[0] == 20
+        assert buffer[1] == 30
+        assert buffer[2] == 40
+        assert buffer[-1] == 40
+        assert buffer[-3] == 20
+
+    def test_getitem_out_of_range(self):
+        buffer = CircularBuffer(3)
+        buffer.append(1)
+        with pytest.raises(IndexError):
+            buffer[1]
+        with pytest.raises(IndexError):
+            buffer[-2]
+
+    def test_last(self):
+        buffer = CircularBuffer(5)
+        buffer.extend([1, 2, 3, 4, 5, 6])
+        assert buffer.last(3).tolist() == [4, 5, 6]
+        assert buffer.last(0).tolist() == []
+        assert buffer.last(100).tolist() == [2, 3, 4, 5, 6]
+
+    def test_last_negative(self):
+        with pytest.raises(ValueError):
+            CircularBuffer(3).last(-1)
+
+    def test_clear(self):
+        buffer = CircularBuffer(3)
+        buffer.extend([1, 2, 3])
+        buffer.clear()
+        assert len(buffer) == 0
+        buffer.append(9)
+        assert buffer.to_array().tolist() == [9]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CircularBuffer(0)
+
+    def test_dtype_is_int64(self):
+        buffer = CircularBuffer(2)
+        buffer.append(2**40)
+        assert buffer.to_array().dtype == np.int64
+        assert buffer[0] == 2**40
+
+    def test_matches_list_reference(self):
+        """The ring must behave exactly like keeping the last N of a list."""
+        capacity = 7
+        buffer = CircularBuffer(capacity)
+        reference: list[int] = []
+        for i in range(50):
+            value = (i * 37) % 11
+            buffer.append(value)
+            reference.append(value)
+            assert buffer.to_array().tolist() == reference[-capacity:]

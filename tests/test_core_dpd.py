@@ -1,0 +1,146 @@
+"""Tests for the Dynamic Periodicity Detector (repro.core.dpd)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpd import DynamicPeriodicityDetector
+
+
+def feed(detector, values):
+    for value in values:
+        detector.observe(int(value))
+    return detector
+
+
+class TestConstruction:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DynamicPeriodicityDetector(window_size=0)
+
+    def test_invalid_max_period(self):
+        with pytest.raises(ValueError):
+            DynamicPeriodicityDetector(window_size=8, max_period=0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            DynamicPeriodicityDetector(mismatch_tolerance=-1)
+
+    def test_max_period_defaults_to_window(self):
+        detector = DynamicPeriodicityDetector(window_size=10)
+        assert detector.max_period == 10
+
+    def test_max_period_may_exceed_window(self):
+        detector = DynamicPeriodicityDetector(window_size=8, max_period=64)
+        assert detector.max_period == 64
+
+
+class TestDetection:
+    @pytest.mark.parametrize("period", [1, 2, 3, 5, 7, 18])
+    def test_detects_exact_period(self, period):
+        pattern = list(range(period))
+        stream = pattern * 10
+        detector = feed(DynamicPeriodicityDetector(window_size=2 * period + 2), stream)
+        assert detector.detect().period == period
+
+    def test_detects_smallest_period(self):
+        # Stream with period 4 is also periodic with 8; the smallest is reported.
+        stream = [1, 2, 3, 4] * 20
+        detector = feed(DynamicPeriodicityDetector(window_size=16), stream)
+        assert detector.detect().period == 4
+
+    def test_constant_stream_has_period_one(self):
+        detector = feed(DynamicPeriodicityDetector(window_size=8), [7] * 30)
+        assert detector.detect().period == 1
+
+    def test_no_period_in_random_stream(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 1000, size=200)
+        detector = feed(DynamicPeriodicityDetector(window_size=16, max_period=32), stream)
+        assert detector.detect().period is None
+
+    def test_not_enough_history_returns_none(self):
+        detector = feed(DynamicPeriodicityDetector(window_size=8), [1, 2, 3])
+        result = detector.detect()
+        assert result.period is None
+        assert result.distances.size == 0
+
+    def test_period_longer_than_window_detected_with_large_max_period(self):
+        period = 40
+        pattern = list(range(period))
+        stream = pattern * 5
+        detector = feed(
+            DynamicPeriodicityDetector(window_size=16, max_period=64), stream
+        )
+        assert detector.detect().period == period
+
+    def test_period_beyond_max_period_not_detected(self):
+        pattern = list(range(20))
+        detector = feed(
+            DynamicPeriodicityDetector(window_size=8, max_period=10), pattern * 6
+        )
+        assert detector.detect().period is None
+
+    def test_perturbation_breaks_exact_detection(self):
+        stream = [1, 2, 3, 4] * 10
+        stream[30] = 99
+        detector = feed(DynamicPeriodicityDetector(window_size=16, max_period=16), stream)
+        assert detector.detect().period is None
+
+    def test_tolerance_recovers_from_perturbation(self):
+        stream = [1, 2, 3, 4] * 10
+        stream[30] = 99
+        detector = feed(
+            DynamicPeriodicityDetector(window_size=16, max_period=16, mismatch_tolerance=2),
+            stream,
+        )
+        assert detector.detect().period == 4
+
+
+class TestDistances:
+    def test_distance_values_match_equation(self):
+        # Stream 1,2,1,2,...: d(2) == 0 and d(1) == window_size (all differ).
+        detector = feed(DynamicPeriodicityDetector(window_size=6, max_period=4), [1, 2] * 8)
+        distances = detector.distances()
+        assert distances[1] == 0  # m=2
+        assert distances[0] == 6  # m=1: every position differs
+        assert distances[3] == 0  # m=4 is also a period
+
+    def test_distances_bounded_by_window(self):
+        rng = np.random.default_rng(1)
+        detector = feed(
+            DynamicPeriodicityDetector(window_size=12, max_period=12),
+            rng.integers(0, 5, size=100),
+        )
+        distances = detector.distances()
+        assert distances.size == 12
+        assert (distances >= 0).all() and (distances <= 12).all()
+
+    def test_distances_grow_with_history(self):
+        detector = DynamicPeriodicityDetector(window_size=4, max_period=8)
+        feed(detector, [1, 2, 3, 4, 5])
+        assert detector.distances().size == 1
+        feed(detector, [6, 7, 8])
+        assert detector.distances().size == 4
+
+
+class TestStateManagement:
+    def test_samples_seen(self):
+        detector = feed(DynamicPeriodicityDetector(window_size=4), range(9))
+        assert detector.samples_seen == 9
+
+    def test_reset(self):
+        detector = feed(DynamicPeriodicityDetector(window_size=4), [1, 2] * 10)
+        detector.reset()
+        assert detector.samples_seen == 0
+        assert detector.detect().period is None
+
+    def test_history_returns_chronological_copy(self):
+        detector = feed(DynamicPeriodicityDetector(window_size=3, max_period=3), [1, 2, 3, 4])
+        history = detector.history()
+        assert history.tolist() == [1, 2, 3, 4]
+
+    def test_detect_result_fields(self):
+        detector = feed(DynamicPeriodicityDetector(window_size=4), [5, 6] * 10)
+        result = detector.detect()
+        assert result.periodic is True
+        assert result.samples_seen == 20

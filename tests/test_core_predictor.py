@@ -1,0 +1,106 @@
+"""Tests for the periodicity-based predictor (repro.core.predictor)."""
+
+import pytest
+
+from repro.core.predictor import PeriodicityPredictor
+
+
+def feed(predictor, values):
+    for value in values:
+        predictor.observe(int(value))
+    return predictor
+
+
+class TestPrediction:
+    def test_no_prediction_before_learning(self):
+        predictor = PeriodicityPredictor(window_size=8)
+        assert predictor.predict(5) == [None] * 5
+
+    def test_exact_replay_of_periodic_stream(self):
+        pattern = [3, 1, 4, 1, 5]
+        predictor = feed(PeriodicityPredictor(window_size=10), pattern * 6)
+        predictions = predictor.predict(10)
+        assert predictions == pattern * 2
+
+    def test_prediction_horizon_wraps_around_period(self):
+        pattern = [7, 8]
+        predictor = feed(PeriodicityPredictor(window_size=6), pattern * 10)
+        assert predictor.predict(5) == [7, 8, 7, 8, 7]
+
+    def test_prediction_continues_mid_period(self):
+        pattern = [1, 2, 3, 4]
+        stream = pattern * 6 + [1, 2]  # stops mid-period
+        predictor = feed(PeriodicityPredictor(window_size=8), stream)
+        assert predictor.predict(4) == [3, 4, 1, 2]
+
+    def test_constant_stream(self):
+        predictor = feed(PeriodicityPredictor(window_size=4), [9] * 20)
+        assert predictor.predict(3) == [9, 9, 9]
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            PeriodicityPredictor().predict(0)
+
+    def test_long_period_with_short_window(self):
+        pattern = list(range(40))
+        predictor = feed(
+            PeriodicityPredictor(window_size=16, max_period=64), pattern * 4
+        )
+        assert predictor.current_period == 40
+        assert predictor.predict(3) == [0, 1, 2]
+
+
+class TestStickiness:
+    def test_sticky_keeps_period_through_noise(self):
+        pattern = [1, 2, 3, 4]
+        predictor = feed(PeriodicityPredictor(window_size=8, sticky=True), pattern * 8)
+        assert predictor.current_period == 4
+        predictor.observe(99)  # one perturbed sample
+        assert predictor.current_period == 4
+        assert all(p is not None for p in predictor.predict(4))
+
+    def test_non_sticky_drops_prediction_on_noise(self):
+        pattern = [1, 2, 3, 4]
+        predictor = feed(PeriodicityPredictor(window_size=8, sticky=False), pattern * 8)
+        predictor.observe(99)
+        assert predictor.current_period is None
+        assert predictor.predict(2) == [None, None]
+
+    def test_period_change_is_tracked(self):
+        predictor = PeriodicityPredictor(window_size=8, max_period=16)
+        feed(predictor, [1, 2] * 10)
+        first_period = predictor.current_period
+        feed(predictor, [5, 6, 7, 8] * 10)
+        assert first_period == 2
+        assert predictor.current_period == 4
+        assert predictor.period_changes >= 2
+
+
+class TestBookkeeping:
+    def test_counters(self):
+        predictor = feed(PeriodicityPredictor(window_size=4), [1, 2] * 10)
+        assert predictor.samples_seen == 20
+        assert predictor.detections > 0
+
+    def test_reset(self):
+        predictor = feed(PeriodicityPredictor(window_size=4), [1, 2] * 10)
+        predictor.reset()
+        assert predictor.samples_seen == 0
+        assert predictor.current_period is None
+        assert predictor.predict(2) == [None, None]
+
+    def test_periodicity_exposes_dpd_result(self):
+        predictor = feed(PeriodicityPredictor(window_size=6), [1, 2, 3] * 10)
+        result = predictor.periodicity()
+        assert result.period == 3
+
+    def test_observe_many(self):
+        predictor = PeriodicityPredictor(window_size=4)
+        predictor.observe_many([1, 2] * 8)
+        assert predictor.current_period == 2
+
+    def test_window_size_property(self):
+        assert PeriodicityPredictor(window_size=12).window_size == 12
+
+    def test_name(self):
+        assert PeriodicityPredictor().name == "periodicity"

@@ -1,0 +1,202 @@
+"""Structural tests for the collective algorithms (repro.mpi.collectives).
+
+These tests drive the collective generators symbolically (without the
+engine): they collect the send/receive operations every rank would issue and
+check the global structure — message counts, tree shape, pairing consistency.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.mpi import collectives as coll
+from repro.mpi.ops import IrecvOp, IsendOp, RecvOp, SendOp
+
+TAG = 2**20
+
+
+def gather_ops(generator):
+    """Drive a collective generator without an engine, collecting operations."""
+    ops = []
+    try:
+        op = next(generator)
+        while True:
+            ops.append(op)
+            # Feed dummy results: requests/statuses are not inspected by the
+            # collective algorithms themselves.
+            op = generator.send(None)
+    except StopIteration:
+        pass
+    return ops
+
+
+def sends_and_recvs(ops):
+    sends = [op for op in ops if isinstance(op, (SendOp, IsendOp))]
+    recvs = [op for op in ops if isinstance(op, (RecvOp, IrecvOp))]
+    return sends, recvs
+
+
+def total_counts(algorithm, size, *args):
+    """Run an algorithm for every rank and return global (sends, recvs)."""
+    all_sends, all_recvs = [], []
+    for rank in range(size):
+        ops = gather_ops(algorithm(rank, size, *args))
+        sends, recvs = sends_and_recvs(ops)
+        all_sends.extend((rank, op.dest) for op in sends)
+        all_recvs.extend((op.source, rank) for op in recvs)
+    return all_sends, all_recvs
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 8, 9, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_every_nonroot_receives_exactly_once(self, size, root):
+        recv_count = defaultdict(int)
+        for rank in range(size):
+            ops = gather_ops(coll.broadcast(rank, size, 100, root % size, TAG))
+            _sends, recvs = sends_and_recvs(ops)
+            recv_count[rank] = len(recvs)
+        assert recv_count[root % size] == 0
+        for rank in range(size):
+            if rank != root % size:
+                assert recv_count[rank] == 1
+
+    @pytest.mark.parametrize("size", [2, 4, 7, 16])
+    def test_total_messages_is_size_minus_one(self, size):
+        sends, recvs = total_counts(coll.broadcast, size, 100, 0, TAG)
+        assert len(sends) == size - 1
+        assert len(recvs) == size - 1
+
+    def test_sends_pair_with_recvs(self):
+        size = 9
+        sends, recvs = total_counts(coll.broadcast, size, 100, 2, TAG)
+        assert sorted(sends) == sorted(recvs)
+
+    def test_single_rank_is_noop(self):
+        assert gather_ops(coll.broadcast(0, 1, 10, 0, TAG)) == []
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 8, 13])
+    def test_every_nonroot_sends_exactly_once(self, size):
+        for rank in range(size):
+            ops = gather_ops(coll.reduce(rank, size, 100, 0, TAG))
+            sends, _recvs = sends_and_recvs(ops)
+            assert len(sends) == (0 if rank == 0 else 1)
+
+    @pytest.mark.parametrize("size", [2, 4, 6, 9])
+    def test_message_pairing(self, size):
+        sends, recvs = total_counts(coll.reduce, size, 100, 0, TAG)
+        assert sorted(sends) == sorted(recvs)
+        assert len(sends) == size - 1
+
+    def test_nonzero_root(self):
+        size = 8
+        sends, recvs = total_counts(coll.reduce, size, 64, 3, TAG)
+        # Exactly one rank (the root) never sends.
+        senders = {s for s, _d in sends}
+        assert senders == set(range(size)) - {3}
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("size", [2, 3, 4, 8])
+    def test_message_count_is_twice_size_minus_one(self, size):
+        sends, recvs = total_counts(coll.allreduce, size, 64, TAG)
+        assert len(sends) == 2 * (size - 1)
+        assert sorted(sends) == sorted(recvs)
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("size", [2, 3, 5, 8])
+    def test_ring_structure(self, size):
+        for rank in range(size):
+            ops = gather_ops(coll.allgather(rank, size, 32, TAG))
+            sends, recvs = sends_and_recvs(ops)
+            assert len(sends) == size - 1
+            assert len(recvs) == size - 1
+            assert {op.dest for op in sends} == {(rank + 1) % size}
+            assert {op.source for op in recvs} == {(rank - 1) % size}
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", [2, 4, 7])
+    def test_gather_root_receives_from_everyone(self, size):
+        ops = gather_ops(coll.gather(0, size, 16, 0, TAG))
+        _sends, recvs = sends_and_recvs(ops)
+        assert {op.source for op in recvs} == set(range(1, size))
+
+    def test_gather_nonroot_sends_once(self):
+        ops = gather_ops(coll.gather(3, 8, 16, 0, TAG))
+        sends, recvs = sends_and_recvs(ops)
+        assert len(sends) == 1 and len(recvs) == 0
+
+    @pytest.mark.parametrize("size", [2, 4, 7])
+    def test_scatter_root_sends_to_everyone(self, size):
+        ops = gather_ops(coll.scatter(0, size, 16, 0, TAG))
+        sends, _recvs = sends_and_recvs(ops)
+        assert {op.dest for op in sends} == set(range(1, size))
+
+    def test_scatter_nonroot_receives_once(self):
+        ops = gather_ops(coll.scatter(5, 8, 16, 0, TAG))
+        sends, recvs = sends_and_recvs(ops)
+        assert len(sends) == 0 and len(recvs) == 1
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size", [2, 3, 4, 8])
+    def test_every_pair_exchanges(self, size):
+        sends, recvs = total_counts(coll.alltoall, size, 16, TAG)
+        assert len(sends) == size * (size - 1)
+        assert sorted(sends) == sorted(recvs)
+        assert set(sends) == {(a, b) for a in range(size) for b in range(size) if a != b}
+
+    def test_alltoallv_uses_per_destination_sizes(self):
+        size = 4
+        sizes = [0, 10, 20, 30]
+        ops = gather_ops(coll.alltoallv(0, size, sizes, TAG))
+        sends, _recvs = sends_and_recvs(ops)
+        by_dest = {op.dest: op.nbytes for op in sends}
+        assert by_dest == {1: 10, 2: 20, 3: 30}
+
+    def test_alltoallv_wrong_length(self):
+        with pytest.raises(ValueError):
+            gather_ops(coll.alltoallv(0, 4, [1, 2, 3], TAG))
+
+    def test_deterministic_receive_order(self):
+        ops = gather_ops(coll.alltoall(2, 5, 8, TAG))
+        _sends, recvs = sends_and_recvs(ops)
+        assert [op.source for op in recvs] == [(2 - s) % 5 for s in range(1, 5)]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 8, 9])
+    def test_dissemination_rounds(self, size):
+        import math
+
+        rounds = math.ceil(math.log2(size))
+        for rank in range(size):
+            ops = gather_ops(coll.barrier(rank, size, TAG))
+            sends, recvs = sends_and_recvs(ops)
+            assert len(sends) == rounds
+            assert len(recvs) == rounds
+
+    def test_rounds_use_distinct_tags(self):
+        ops = gather_ops(coll.barrier(0, 8, TAG))
+        sends, _ = sends_and_recvs(ops)
+        assert len({op.tag for op in sends}) == 3
+
+    def test_pairing(self):
+        sends, recvs = total_counts(coll.barrier, 6, TAG)
+        assert sorted(sends) == sorted(recvs)
+
+
+class TestSendrecv:
+    def test_posts_receive_before_send(self):
+        ops = gather_ops(coll.sendrecv(1, 100, 2, TAG))
+        assert isinstance(ops[0], IrecvOp)
+        assert isinstance(ops[1], IsendOp)
+
+    def test_separate_recv_tag(self):
+        ops = gather_ops(coll.sendrecv(1, 100, 2, TAG, recv_tag=TAG + 5))
+        assert ops[0].tag == TAG + 5
+        assert ops[1].tag == TAG

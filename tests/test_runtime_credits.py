@@ -1,0 +1,64 @@
+"""Tests for credit bookkeeping (repro.runtime.credits)."""
+
+import pytest
+
+from repro.runtime.credits import CreditManager
+
+
+class TestCreditManager:
+    def test_grant_and_available(self):
+        manager = CreditManager()
+        manager.grant(0, 1, 1000)
+        assert manager.available(0, 1) == 1000
+        assert manager.available(1, 0) == 0
+
+    def test_consume_reduces_available(self):
+        manager = CreditManager()
+        manager.grant(0, 1, 1000)
+        assert manager.try_consume(0, 1, 400) is True
+        assert manager.available(0, 1) == 600
+
+    def test_consume_without_credit_denied(self):
+        manager = CreditManager()
+        assert manager.try_consume(0, 1, 10) is False
+        assert manager.account(0, 1).denials == 1
+
+    def test_consume_more_than_available_denied(self):
+        manager = CreditManager()
+        manager.grant(0, 1, 100)
+        assert manager.try_consume(0, 1, 200) is False
+        assert manager.available(0, 1) == 100
+
+    def test_multiple_grants_accumulate(self):
+        manager = CreditManager()
+        manager.grant(0, 1, 100)
+        manager.grant(0, 1, 200)
+        account = manager.account(0, 1)
+        assert account.granted_bytes == 300
+        assert account.grants == 2
+
+    def test_total_granted_filtered_by_receiver(self):
+        manager = CreditManager()
+        manager.grant(0, 1, 100)
+        manager.grant(2, 1, 50)
+        assert manager.total_granted_bytes() == 150
+        assert manager.total_granted_bytes(receiver=0) == 100
+
+    def test_accounts_sorted(self):
+        manager = CreditManager()
+        manager.grant(2, 0, 1)
+        manager.grant(0, 1, 1)
+        keys = [(a.receiver, a.sender) for a in manager.accounts()]
+        assert keys == sorted(keys)
+
+    def test_negative_grant_rejected(self):
+        with pytest.raises(ValueError):
+            CreditManager().grant(0, 1, -5)
+
+    def test_account_is_stable_object(self):
+        manager = CreditManager()
+        assert manager.account(0, 1) is manager.account(0, 1)
+
+    def test_zero_byte_consume_always_succeeds_with_account(self):
+        manager = CreditManager()
+        assert manager.try_consume(0, 1, 0) is True

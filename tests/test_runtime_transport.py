@@ -1,0 +1,263 @@
+"""Behavioural tests of the transport protocols via small simulations."""
+
+import pytest
+
+from repro.runtime.protocol import AlwaysRendezvousFlowControl, StandardFlowControl
+from repro.runtime.stats import LatencyAccumulator, RuntimeStats
+from repro.sim.engine import Simulator
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig
+
+
+def run(program, nprocs=2, machine=None, policy=None, network=None):
+    sim = Simulator(
+        nprocs=nprocs,
+        machine=machine or MachineConfig(),
+        network=network or NetworkConfig.noiseless(seed=1),
+        policy=policy,
+        seed=1,
+    )
+    return sim.run([program])
+
+
+class TestProtocolSelection:
+    def test_small_message_uses_eager(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 1024)
+            else:
+                yield ctx.comm.recv(source=0)
+
+        result = run(program)
+        assert result.stats.eager_messages == 1
+        assert result.stats.rendezvous_messages == 0
+        assert result.stats.control_messages == 0
+
+    def test_large_message_uses_rendezvous(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 1024 * 1024)
+            else:
+                yield ctx.comm.recv(source=0)
+
+        result = run(program)
+        assert result.stats.rendezvous_messages == 1
+        assert result.stats.control_messages == 2  # RTS + CTS
+
+    def test_threshold_boundary(self):
+        machine = MachineConfig(eager_threshold=1000)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 1000, tag=0)
+                yield ctx.comm.send(1, 1001, tag=1)
+            else:
+                yield ctx.comm.recv(source=0, tag=0)
+                yield ctx.comm.recv(source=0, tag=1)
+
+        result = run(program, machine=machine)
+        assert result.stats.eager_messages == 1
+        assert result.stats.rendezvous_messages == 1
+
+    def test_always_rendezvous_policy(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 8)
+            else:
+                yield ctx.comm.recv(source=0)
+
+        result = run(program, policy=AlwaysRendezvousFlowControl())
+        assert result.stats.rendezvous_messages == 1
+        assert result.stats.forced_rendezvous == 1
+
+    def test_rendezvous_latency_exceeds_eager(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 1024, tag=0)      # eager
+                yield ctx.comm.send(1, 64 * 1024, tag=1)  # rendezvous
+            else:
+                yield ctx.comm.recv(source=0, tag=0)
+                yield ctx.comm.recv(source=0, tag=1)
+
+        result = run(program)
+        assert result.stats.rendezvous_latency.mean > result.stats.eager_latency.mean
+
+
+class TestUnexpectedMessages:
+    def test_unexpected_eager_is_buffered_then_matched(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 512)
+                yield ctx.comm.compute(0.0)
+            else:
+                # Delay posting the receive so the message arrives unexpected.
+                yield ctx.comm.compute(0.01)
+                status = yield ctx.comm.recv(source=0)
+                assert status.nbytes == 512
+
+        result = run(program)
+        assert result.stats.unexpected_deliveries == 1
+        assert result.stats.expected_deliveries == 0
+
+    def test_expected_when_receive_preposted(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.compute(0.01)
+                yield ctx.comm.send(1, 512)
+            else:
+                yield ctx.comm.recv(source=0)
+
+        result = run(program)
+        assert result.stats.expected_deliveries == 1
+        assert result.stats.unexpected_deliveries == 0
+
+    def test_unexpected_overflow_goes_to_heap(self):
+        machine = MachineConfig(eager_threshold=16 * 1024, eager_buffer_bytes=1024)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    yield ctx.comm.send(1, 1000, tag=i)
+            else:
+                yield ctx.comm.compute(0.05)
+                for i in range(5):
+                    yield ctx.comm.recv(source=0, tag=i)
+
+        result = run(program, machine=machine)
+        assert result.stats.unexpected_heap_stores >= 1
+
+    def test_late_rendezvous_receive_completes(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 256 * 1024)
+            else:
+                yield ctx.comm.compute(0.01)
+                status = yield ctx.comm.recv(source=0)
+                assert status.nbytes == 256 * 1024
+
+        result = run(program)
+        assert result.stats.rendezvous_messages == 1
+
+
+class TestOrderingSemantics:
+    def test_fifo_between_same_pair(self):
+        """Messages from one sender with the same tag are received in order."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for i in range(20):
+                    yield ctx.comm.send(1, 100 + i, tag=7)
+            else:
+                sizes = []
+                for _ in range(20):
+                    status = yield ctx.comm.recv(source=0, tag=7)
+                    sizes.append(status.nbytes)
+                assert sizes == [100 + i for i in range(20)]
+
+        run(program, network=NetworkConfig(jitter_sigma=1.0, seed=3))
+
+    def test_tag_selective_matching(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 111, tag=1)
+                yield ctx.comm.send(1, 222, tag=2)
+            else:
+                status_b = yield ctx.comm.recv(source=0, tag=2)
+                status_a = yield ctx.comm.recv(source=0, tag=1)
+                assert status_b.nbytes == 222
+                assert status_a.nbytes == 111
+
+        run(program)
+
+    def test_self_send_rejected(self):
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+            if ctx.rank == 0:
+                from repro.mpi.ops import SendOp
+
+                yield SendOp(dest=0, nbytes=10)
+
+        with pytest.raises(ValueError):
+            run(program, nprocs=1)
+
+
+class TestBufferAccounting:
+    def test_default_preallocates_all_peers(self):
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+
+        result = run(program, nprocs=5)
+        for stats in result.buffer_stats:
+            assert stats.peers_with_buffer == 4
+            assert stats.preallocated_bytes == 4 * MachineConfig().eager_buffer_bytes
+
+    def test_preallocation_disabled_by_machine_config(self):
+        machine = MachineConfig(preallocate_all_peers=False)
+
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+
+        result = run(program, nprocs=5, machine=machine)
+        for stats in result.buffer_stats:
+            assert stats.peers_with_buffer == 0
+
+
+class TestRuntimeStats:
+    def test_latency_accumulator(self):
+        acc = LatencyAccumulator()
+        assert acc.mean == 0.0
+        acc.add(1.0)
+        acc.add(3.0)
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.maximum == 3.0
+        assert acc.count == 2
+
+    def test_record_send_categories(self):
+        stats = RuntimeStats()
+        stats.record_send(10, "p2p", "eager", forced=False, bypass=False)
+        stats.record_send(20, "collective", "rendezvous", forced=True, bypass=False)
+        stats.record_send(30, "p2p", "eager", forced=False, bypass=True)
+        assert stats.messages_sent == 3
+        assert stats.bytes_sent == 60
+        assert stats.p2p_messages == 2
+        assert stats.collective_messages == 1
+        assert stats.forced_rendezvous == 1
+        assert stats.eager_bypass_large == 1
+
+    def test_summary_keys(self):
+        summary = RuntimeStats(nprocs=4).summary()
+        assert summary["nprocs"] == 4
+        assert "mean_eager_latency" in summary
+        assert "unexpected_heap_stores" in summary
+
+    def test_delivery_counters(self):
+        stats = RuntimeStats()
+        stats.record_delivery(expected=True)
+        stats.record_delivery(expected=False, storage="heap")
+        stats.record_delivery(expected=False, storage="buffer")
+        assert stats.expected_deliveries == 1
+        assert stats.unexpected_deliveries == 2
+        assert stats.unexpected_heap_stores == 1
+
+
+class TestConservation:
+    def test_sent_equals_received_across_traces(self):
+        def program(ctx):
+            comm = ctx.comm
+            for _ in range(5):
+                yield from comm.alltoall(128)
+                yield from comm.allreduce(16)
+
+        result = run(program, nprocs=4, network=NetworkConfig(seed=5))
+        total_logical = sum(len(result.trace_for(r).logical) for r in range(4))
+        total_physical = sum(len(result.trace_for(r).physical) for r in range(4))
+        assert total_logical == result.stats.messages_sent
+        assert total_physical == result.stats.messages_sent
+
+    def test_no_unmatched_receives(self):
+        def program(ctx):
+            yield from ctx.comm.alltoall(64)
+
+        result = run(program, nprocs=3)
+        for rank in range(3):
+            assert result.tracer.unmatched_receives(rank) == 0

@@ -1,0 +1,310 @@
+"""Tests for the discrete-event simulation engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.sim.engine import Simulator
+from repro.sim.errors import DeadlockError, ProgramError, SimulationError
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig
+
+
+def make_sim(nprocs=2, **kwargs):
+    kwargs.setdefault("network", NetworkConfig.noiseless(seed=1))
+    return Simulator(nprocs=nprocs, seed=1, **kwargs)
+
+
+class TestBasicPingPong:
+    def test_blocking_send_recv(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield comm.send(1, 100, tag=5)
+            else:
+                status = yield comm.recv(source=0, tag=5)
+                assert status.source == 0
+                assert status.nbytes == 100
+                assert status.tag == 5
+
+        result = make_sim().run([program])
+        assert result.makespan > 0.0
+        assert result.stats.messages_sent == 1
+
+    def test_status_reports_kind_p2p(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield comm.send(1, 8)
+            else:
+                status = yield comm.recv(source=0)
+                assert status.kind == "p2p"
+
+        make_sim().run([program])
+
+    def test_multiple_iterations(self):
+        counts = {"recv": 0}
+
+        def program(ctx):
+            comm = ctx.comm
+            other = 1 - ctx.rank
+            for i in range(10):
+                if ctx.rank == 0:
+                    yield comm.send(other, 64, tag=i)
+                    yield comm.recv(source=other, tag=i)
+                    counts["recv"] += 1
+                else:
+                    yield comm.recv(source=other, tag=i)
+                    yield comm.send(other, 64, tag=i)
+
+        result = make_sim().run([program])
+        assert counts["recv"] == 10
+        assert result.stats.messages_sent == 20
+
+    def test_wildcard_receive(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                status = yield comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                assert status.source == 1
+            else:
+                yield comm.send(0, 32, tag=9)
+
+        make_sim().run([program])
+
+
+class TestNonBlocking:
+    def test_isend_irecv_wait(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                req = yield comm.isend(1, 128, tag=1)
+                yield comm.wait(req)
+            else:
+                req = yield comm.irecv(source=0, tag=1)
+                status = yield comm.wait(req)
+                assert status.nbytes == 128
+
+        make_sim().run([program])
+
+    def test_waitall_returns_statuses_in_order(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                for i in range(3):
+                    yield comm.send(1, 10 * (i + 1), tag=i)
+            else:
+                reqs = []
+                for i in range(3):
+                    req = yield comm.irecv(source=0, tag=i)
+                    reqs.append(req)
+                statuses = yield comm.waitall(reqs)
+                assert [s.nbytes for s in statuses] == [10, 20, 30]
+
+        make_sim().run([program])
+
+    def test_wait_on_send_request_returns_none(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                req = yield comm.isend(1, 8)
+                outcome = yield comm.wait(req)
+                assert outcome is None
+            else:
+                yield comm.recv(source=0)
+
+        make_sim().run([program])
+
+
+class TestComputeAndTime:
+    def test_compute_advances_local_clock(self):
+        def program(ctx):
+            yield ctx.comm.compute(1.0)
+
+        result = make_sim(nprocs=1).run([program])
+        assert result.makespan == pytest.approx(1.0)
+        assert result.rank_finish_times == [pytest.approx(1.0)]
+
+    def test_negative_compute_rejected(self):
+        def program(ctx):
+            yield ctx.comm.compute(1.0)
+            from repro.mpi.ops import ComputeOp
+
+            yield ComputeOp(seconds=-1.0)
+
+        with pytest.raises(ProgramError):
+            make_sim(nprocs=1).run([program])
+
+    def test_rank_finish_times_reflect_work(self):
+        def program(ctx):
+            yield ctx.comm.compute(1.0 if ctx.rank == 0 else 2.0)
+
+        result = make_sim(nprocs=2).run([program])
+        assert result.rank_finish_times[1] > result.rank_finish_times[0]
+
+    def test_message_latency_positive(self):
+        def program(ctx):
+            comm = ctx.comm
+            if ctx.rank == 0:
+                yield comm.send(1, 1024)
+            else:
+                yield comm.recv(source=0)
+
+        result = make_sim().run([program])
+        assert result.stats.eager_latency.mean > 0.0
+
+
+class TestErrors:
+    def test_deadlock_detection(self):
+        def program(ctx):
+            # Both ranks wait for a message that is never sent.
+            yield ctx.comm.recv(source=1 - ctx.rank, tag=0)
+
+        with pytest.raises(DeadlockError) as excinfo:
+            make_sim().run([program])
+        assert set(excinfo.value.blocked_ranks) == {0, 1}
+
+    def test_partial_deadlock_lists_blocked_rank(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.recv(source=1, tag=7)
+            else:
+                yield ctx.comm.compute(1e-6)
+
+        with pytest.raises(DeadlockError) as excinfo:
+            make_sim().run([program])
+        assert excinfo.value.blocked_ranks == [0]
+
+    def test_invalid_yield_raises_program_error(self):
+        def program(ctx):
+            yield "not an operation"
+
+        with pytest.raises(ProgramError):
+            make_sim(nprocs=1).run([program])
+
+    def test_non_generator_factory_rejected(self):
+        def program(ctx):
+            return 42
+
+        with pytest.raises(ProgramError):
+            make_sim(nprocs=1).run([program])
+
+    def test_wrong_number_of_programs(self):
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+
+        with pytest.raises(ValueError):
+            make_sim(nprocs=3).run([program, program])
+
+    def test_max_events_guard(self):
+        def program(ctx):
+            for _ in range(1000):
+                yield ctx.comm.compute(1e-9)
+
+        with pytest.raises(SimulationError):
+            make_sim(nprocs=1, max_events=50).run([program])
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            Simulator(nprocs=0)
+
+    def test_application_exception_propagates(self):
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            make_sim(nprocs=1).run([program])
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        def program(ctx):
+            comm = ctx.comm
+            other = 1 - ctx.rank
+            for i in range(20):
+                yield ctx.comm.compute(1e-6 * ctx.rng.lognormal_factor(0.2))
+                if ctx.rank == 0:
+                    yield comm.send(other, 64, tag=i)
+                    yield comm.recv(source=other, tag=i)
+                else:
+                    yield comm.recv(source=other, tag=i)
+                    yield comm.send(other, 64, tag=i)
+
+        sim = Simulator(nprocs=2, seed=seed, network=NetworkConfig(seed=seed))
+        return sim.run([program])
+
+    def test_same_seed_same_makespan(self):
+        assert self._run(11).makespan == self._run(11).makespan
+
+    def test_different_seed_different_makespan(self):
+        assert self._run(11).makespan != self._run(12).makespan
+
+
+class TestSimulationResult:
+    def test_trace_for_without_tracer_raises(self):
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+
+        result = make_sim(nprocs=1, tracer=False).run([program])
+        with pytest.raises(SimulationError):
+            result.trace_for(0)
+
+    def test_buffer_stats_present_per_rank(self):
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+
+        result = make_sim(nprocs=3).run([program])
+        assert len(result.buffer_stats) == 3
+
+    def test_events_processed_positive(self):
+        def program(ctx):
+            yield ctx.comm.compute(0.0)
+
+        result = make_sim(nprocs=1).run([program])
+        assert result.events_processed > 0
+
+
+class TestCollectivesThroughEngine:
+    def test_barrier_synchronises(self):
+        after = {}
+
+        def program(ctx):
+            yield ctx.comm.compute(0.001 * (ctx.rank + 1))
+            yield from ctx.comm.barrier()
+            after[ctx.rank] = True
+
+        make_sim(nprocs=4).run([program])
+        assert len(after) == 4
+
+    def test_bcast_from_nonzero_root(self):
+        def program(ctx):
+            yield from ctx.comm.bcast(256, root=2)
+
+        result = make_sim(nprocs=4).run([program])
+        # Binomial broadcast among 4 ranks sends exactly 3 messages.
+        assert result.stats.collective_messages == 3
+
+    def test_allreduce_message_count(self):
+        def program(ctx):
+            yield from ctx.comm.allreduce(64)
+
+        result = make_sim(nprocs=4).run([program])
+        # reduce (3 messages) + broadcast (3 messages)
+        assert result.stats.collective_messages == 6
+
+    def test_alltoall_each_rank_receives_all_peers(self):
+        def program(ctx):
+            yield from ctx.comm.alltoall(32)
+
+        result = make_sim(nprocs=4).run([program])
+        assert result.stats.collective_messages == 4 * 3
+        for rank in range(4):
+            senders = {r.sender for r in result.trace_for(rank).physical}
+            assert senders == {p for p in range(4) if p != rank}
+
+    def test_rendezvous_collective_is_deadlock_free(self):
+        def program(ctx):
+            yield from ctx.comm.alltoall(64 * 1024)  # above the eager threshold
+
+        result = make_sim(nprocs=3).run([program])
+        assert result.stats.rendezvous_messages == 6

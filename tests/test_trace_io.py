@@ -1,0 +1,153 @@
+"""Tests for trace persistence (repro.trace.io)."""
+
+import json
+
+import pytest
+
+from repro.trace.io import load_process_trace, load_traces, save_traces
+from repro.trace.streams import sender_stream
+from repro.workloads.registry import create_workload
+from repro.workloads.runner import run_workload
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    workload = create_workload("ring-exchange", nprocs=4, iterations=8)
+    result = run_workload(workload, seed=3)
+    return workload, result
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_preserves_all_records(self, small_run, tmp_path):
+        workload, result = small_run
+        path = tmp_path / "traces.jsonl"
+        written = save_traces(result.tracer, path, metadata={"workload": workload.name})
+        traces, metadata = load_traces(path)
+
+        assert metadata == {"workload": workload.name}
+        assert len(traces) == 4
+        assert written == sum(len(t.logical) + len(t.physical) for t in traces)
+        for rank in range(4):
+            original = result.trace_for(rank)
+            restored = traces[rank]
+            assert [(r.sender, r.nbytes, r.seq) for r in original.logical] == [
+                (r.sender, r.nbytes, r.seq) for r in restored.logical
+            ]
+            assert [(r.sender, r.nbytes, r.time) for r in original.physical] == [
+                (r.sender, r.nbytes, r.time) for r in restored.physical
+            ]
+
+    def test_streams_equal_after_roundtrip(self, small_run, tmp_path):
+        _, result = small_run
+        path = tmp_path / "traces.jsonl"
+        save_traces(result.tracer, path)
+        traces, _ = load_traces(path)
+        assert sender_stream(traces[0].logical).tolist() == sender_stream(
+            result.trace_for(0).logical
+        ).tolist()
+
+    def test_default_metadata_is_empty_dict(self, small_run, tmp_path):
+        _, result = small_run
+        path = tmp_path / "t.jsonl"
+        save_traces(result.tracer, path)
+        _, metadata = load_traces(path)
+        assert metadata == {}
+
+
+class TestFormatValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_traces(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not a repro trace file"):
+            load_traces(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "repro-trace", "version": 99, "nprocs": 1}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_traces(path)
+
+    def test_out_of_range_receiver_rejected(self, tmp_path):
+        header = {"format": "repro-trace", "version": 1, "nprocs": 1, "metadata": {}}
+        record = {
+            "receiver": 5,
+            "sender": 0,
+            "nbytes": 1,
+            "tag": 0,
+            "kind": "p2p",
+            "time": 0.0,
+            "seq": 0,
+            "level": "logical",
+        }
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="out of range"):
+            load_traces(path)
+
+
+class TestLoadProcessTrace:
+    def test_filters_by_rank_and_sorts(self):
+        lines = [
+            json.dumps(
+                {
+                    "receiver": 0,
+                    "sender": 2,
+                    "nbytes": 10,
+                    "tag": 0,
+                    "kind": "p2p",
+                    "time": 2.0,
+                    "seq": 1,
+                    "level": "logical",
+                }
+            ),
+            json.dumps(
+                {
+                    "receiver": 0,
+                    "sender": 1,
+                    "nbytes": 10,
+                    "tag": 0,
+                    "kind": "p2p",
+                    "time": 1.0,
+                    "seq": 0,
+                    "level": "logical",
+                }
+            ),
+            json.dumps(
+                {
+                    "receiver": 1,
+                    "sender": 0,
+                    "nbytes": 10,
+                    "tag": 0,
+                    "kind": "p2p",
+                    "time": 1.0,
+                    "seq": 0,
+                    "level": "physical",
+                }
+            ),
+            "",
+        ]
+        trace = load_process_trace(0, lines)
+        assert [r.sender for r in trace.logical] == [1, 2]
+        assert trace.physical == []
+
+    def test_unknown_level_rejected(self):
+        line = json.dumps(
+            {
+                "receiver": 0,
+                "sender": 1,
+                "nbytes": 10,
+                "tag": 0,
+                "kind": "p2p",
+                "time": 1.0,
+                "seq": 0,
+                "level": "weird",
+            }
+        )
+        with pytest.raises(ValueError, match="unknown trace level"):
+            load_process_trace(0, [line])

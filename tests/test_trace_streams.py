@@ -1,0 +1,92 @@
+"""Tests for stream extraction and summaries (repro.trace.streams)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.records import TraceRecord
+from repro.trace.streams import (
+    collective_count,
+    p2p_count,
+    sender_stream,
+    size_stream,
+    summarize_stream,
+)
+
+
+def record(sender=1, nbytes=100, kind="p2p", seq=0):
+    return TraceRecord(
+        receiver=0, sender=sender, nbytes=nbytes, tag=0, kind=kind, time=float(seq), seq=seq
+    )
+
+
+SAMPLE = [
+    record(sender=1, nbytes=100, kind="p2p", seq=0),
+    record(sender=2, nbytes=200, kind="p2p", seq=1),
+    record(sender=1, nbytes=100, kind="collective", seq=2),
+    record(sender=3, nbytes=300, kind="p2p", seq=3),
+]
+
+
+class TestStreamExtraction:
+    def test_sender_stream(self):
+        assert sender_stream(SAMPLE).tolist() == [1, 2, 1, 3]
+
+    def test_size_stream(self):
+        assert size_stream(SAMPLE).tolist() == [100, 200, 100, 300]
+
+    def test_kind_filter(self):
+        assert sender_stream(SAMPLE, kinds=["collective"]).tolist() == [1]
+        assert size_stream(SAMPLE, kinds=["p2p"]).tolist() == [100, 200, 300]
+
+    def test_empty_input(self):
+        assert sender_stream([]).shape == (0,)
+        assert sender_stream([]).dtype == np.int64
+
+    def test_counts(self):
+        assert p2p_count(SAMPLE) == 3
+        assert collective_count(SAMPLE) == 1
+
+
+class TestSummarizeStream:
+    def test_basic_summary(self):
+        summary = summarize_stream(SAMPLE)
+        assert summary.total_messages == 4
+        assert summary.p2p_messages == 3
+        assert summary.collective_messages == 1
+        assert summary.num_distinct_senders == 3
+        assert summary.num_distinct_sizes == 3
+
+    def test_frequent_values_cover_requested_fraction(self):
+        records = [record(sender=1, seq=i) for i in range(98)] + [
+            record(sender=2, seq=98),
+            record(sender=3, seq=99),
+        ]
+        summary = summarize_stream(records, coverage=0.95)
+        assert summary.frequent_senders == (1,)
+        assert summary.num_frequent_senders == 1
+
+    def test_full_coverage_includes_everything(self):
+        summary = summarize_stream(SAMPLE, coverage=1.0)
+        assert summary.num_frequent_senders == 3
+        assert summary.num_frequent_sizes == 3
+
+    def test_empty_stream(self):
+        summary = summarize_stream([])
+        assert summary.total_messages == 0
+        assert summary.frequent_senders == ()
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            summarize_stream(SAMPLE, coverage=0.0)
+        with pytest.raises(ValueError):
+            summarize_stream(SAMPLE, coverage=1.5)
+
+    def test_frequent_most_common_first(self):
+        records = (
+            [record(sender=5, seq=i) for i in range(5)]
+            + [record(sender=7, seq=i + 5) for i in range(3)]
+            + [record(sender=9, seq=8)]
+        )
+        summary = summarize_stream(records, coverage=1.0)
+        assert summary.frequent_senders[0] == 5
+        assert summary.frequent_senders[1] == 7

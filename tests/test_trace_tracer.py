@@ -1,0 +1,91 @@
+"""Tests for the two-level tracer (repro.trace.tracer)."""
+
+import pytest
+
+from repro.trace.tracer import TwoLevelTracer
+
+
+class TestTracerHooks:
+    def test_logical_records_follow_post_order(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        # Post two receives, match them in reverse completion order: logical
+        # stream must still follow posting order.
+        tracer.on_recv_posted(0, req_id=10, time=0.0)
+        tracer.on_recv_posted(0, req_id=11, time=0.1)
+        tracer.on_recv_matched(0, req_id=11, sender=2, nbytes=200, tag=0, kind="p2p", time=0.5)
+        tracer.on_recv_matched(0, req_id=10, sender=1, nbytes=100, tag=0, kind="p2p", time=0.6)
+        trace = tracer.trace_for(0)
+        assert [r.sender for r in trace.logical] == [1, 2]
+        assert [r.seq for r in trace.logical] == [0, 1]
+
+    def test_physical_records_follow_arrival_time(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        tracer.on_message_arrival(0, sender=5, nbytes=10, tag=0, kind="p2p", time=2.0)
+        tracer.on_message_arrival(0, sender=6, nbytes=10, tag=0, kind="p2p", time=1.0)
+        trace = tracer.trace_for(0)
+        assert [r.sender for r in trace.physical] == [6, 5]
+
+    def test_unannounced_match_appended(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        tracer.on_recv_matched(0, req_id=99, sender=3, nbytes=64, tag=1, kind="p2p", time=1.0)
+        assert [r.sender for r in tracer.trace_for(0).logical] == [3]
+
+    def test_collectives_can_be_excluded(self):
+        tracer = TwoLevelTracer(nprocs=1, record_collectives=False)
+        tracer.on_recv_posted(0, req_id=1, time=0.0)
+        tracer.on_recv_matched(0, req_id=1, sender=1, nbytes=8, tag=0, kind="collective", time=0.1)
+        tracer.on_message_arrival(0, sender=1, nbytes=8, tag=0, kind="collective", time=0.1)
+        trace = tracer.trace_for(0)
+        assert trace.logical == [] and trace.physical == []
+
+    def test_unmatched_receives_counted(self):
+        tracer = TwoLevelTracer(nprocs=2)
+        tracer.on_recv_posted(1, req_id=1, time=0.0)
+        assert tracer.unmatched_receives(1) == 1
+        tracer.on_recv_matched(1, req_id=1, sender=0, nbytes=1, tag=0, kind="p2p", time=0.1)
+        assert tracer.unmatched_receives(1) == 0
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            TwoLevelTracer(nprocs=0)
+
+    def test_trace_for_invalid_rank(self):
+        with pytest.raises(ValueError):
+            TwoLevelTracer(nprocs=2).trace_for(2)
+
+    def test_traces_property_returns_all(self):
+        tracer = TwoLevelTracer(nprocs=3)
+        assert [t.rank for t in tracer.traces] == [0, 1, 2]
+
+    def test_finalize_idempotent(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        tracer.on_message_arrival(0, sender=1, nbytes=1, tag=0, kind="p2p", time=1.0)
+        tracer.finalize()
+        tracer.finalize()
+        assert len(tracer.trace_for(0).physical) == 1
+
+
+class TestTraceRecordsFromSimulation:
+    def test_logical_matches_program_order(self, noiseless_bt4_run):
+        workload, result = noiseless_bt4_run
+        trace = result.trace_for(0)
+        assert [r.seq for r in trace.logical] == sorted(r.seq for r in trace.logical)
+
+    def test_physical_sorted_by_time(self, noiseless_bt4_run):
+        _, result = noiseless_bt4_run
+        trace = result.trace_for(0)
+        times = [r.time for r in trace.physical]
+        assert times == sorted(times)
+
+    def test_same_multiset_at_both_levels(self, bt4_run):
+        _, result = bt4_run
+        for rank in range(4):
+            trace = result.trace_for(rank)
+            logical = sorted((r.sender, r.nbytes) for r in trace.logical)
+            physical = sorted((r.sender, r.nbytes) for r in trace.physical)
+            assert logical == physical
+
+    def test_receiver_field_is_rank(self, bt4_run):
+        _, result = bt4_run
+        for rank in range(4):
+            assert all(r.receiver == rank for r in result.trace_for(rank).logical)

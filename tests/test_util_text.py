@@ -1,0 +1,87 @@
+"""Tests for repro.util.text."""
+
+import pytest
+
+from repro.util.text import ascii_bar_chart, ascii_table, format_float, wrap_title
+
+
+class TestFormatFloat:
+    def test_basic(self):
+        assert format_float(3.14159) == "3.1"
+
+    def test_digits(self):
+        assert format_float(3.14159, digits=3) == "3.142"
+
+    def test_negative_zero_normalised(self):
+        assert format_float(-0.0001) == "0.0"
+
+    def test_integer_value(self):
+        assert format_float(5.0) == "5.0"
+
+
+class TestWrapTitle:
+    def test_contains_title_and_underline(self):
+        text = wrap_title("Hello")
+        lines = text.splitlines()
+        assert lines[0] == "Hello"
+        assert set(lines[1]) == {"="}
+
+    def test_custom_char(self):
+        assert wrap_title("Hi", char="-").splitlines()[1].startswith("-")
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        out = ascii_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in out and "b" in out
+        assert "1" in out and "4" in out
+
+    def test_title(self):
+        out = ascii_table(["x"], [[1]], title="My table")
+        assert out.startswith("My table")
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[1.2345]])
+        assert "1.2" in out
+
+    def test_empty_rows(self):
+        out = ascii_table(["a"], [])
+        assert "a" in out
+
+    def test_alignment_consistent(self):
+        out = ascii_table(["name", "v"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len(lines[0]) <= len(lines[-1]) + 2  # widths consistent
+
+
+class TestAsciiBarChart:
+    def test_full_bar_at_max(self):
+        out = ascii_bar_chart({"a": 100.0}, max_value=100.0, width=10)
+        assert "#" * 10 in out
+
+    def test_zero_value_empty_bar(self):
+        out = ascii_bar_chart({"a": 0.0}, max_value=100.0, width=10)
+        assert "#" not in out
+
+    def test_title(self):
+        out = ascii_bar_chart({"a": 1.0}, title="chart")
+        assert out.startswith("chart")
+
+    def test_percent_default_max(self):
+        out = ascii_bar_chart({"a": 50.0}, width=10)
+        assert out.count("#") == 5
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"a": 1.0}, width=0)
+
+    def test_values_clamped(self):
+        out = ascii_bar_chart({"a": 200.0}, max_value=100.0, width=10)
+        assert "#" * 10 in out
+
+    def test_empty_mapping(self):
+        assert ascii_bar_chart({}, unit="") == ""

@@ -1,0 +1,77 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_rank,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 1.5) == 1.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+
+class TestCheckRank:
+    def test_accepts_valid(self):
+        assert check_rank("r", 3, 4) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_rank("r", 4, 4)
+        with pytest.raises(ValueError):
+            check_rank("r", -1, 4)
+
+    def test_rejects_bool_and_non_int(self):
+        with pytest.raises(TypeError):
+            check_rank("r", True, 4)
+        with pytest.raises(TypeError):
+            check_rank("r", 1.5, 4)
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x"):
+            check_type("x", "s", int)

@@ -1,0 +1,121 @@
+"""Tests for the workload registry and base class."""
+
+import pytest
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    DEFAULT_SCALES,
+    WORKLOAD_CLASSES,
+    create_workload,
+    paper_configurations,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_paper_apps_registered(self):
+        names = workload_names()
+        for name in ("bt", "cg", "lu", "is", "sweep3d"):
+            assert name in names
+
+    def test_synthetic_workloads_registered(self):
+        assert "periodic-pattern" in workload_names()
+        assert "ring-exchange" in workload_names()
+
+    def test_create_workload(self):
+        workload = create_workload("bt", nprocs=4, scale=0.1)
+        assert workload.name == "bt"
+        assert workload.nprocs == 4
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            create_workload("nonexistent", nprocs=4)
+
+    def test_classes_match_names(self):
+        for name, cls in WORKLOAD_CLASSES.items():
+            assert cls.name == name
+
+
+class TestPaperConfigurations:
+    def test_nineteen_configurations(self):
+        assert len(paper_configurations()) == 19
+
+    def test_labels(self):
+        labels = [c.label for c in paper_configurations()]
+        assert "bt.9" in labels
+        assert "sw.32" in labels
+        assert "is.16" in labels
+
+    def test_default_scales_applied(self):
+        for config in paper_configurations():
+            assert config.scale == DEFAULT_SCALES[config.workload]
+
+    def test_scale_override(self):
+        for config in paper_configurations(scale=0.1):
+            assert config.scale == 0.1
+
+    def test_process_counts_match_paper(self):
+        by_app = {}
+        for config in paper_configurations():
+            by_app.setdefault(config.workload, []).append(config.nprocs)
+        assert by_app["bt"] == [4, 9, 16, 25]
+        assert by_app["cg"] == [4, 8, 16, 32]
+        assert by_app["lu"] == [4, 8, 16, 32]
+        assert by_app["is"] == [4, 8, 16, 32]
+        assert by_app["sweep3d"] == [6, 16, 32]
+
+
+class TestWorkloadBase:
+    def test_iterations_scale(self):
+        full = create_workload("bt", nprocs=4, scale=1.0)
+        half = create_workload("bt", nprocs=4, scale=0.5)
+        assert half.iterations == round(full.iterations * 0.5)
+
+    def test_explicit_iterations_override_scale(self):
+        workload = create_workload("bt", nprocs=4, scale=0.5, iterations=7)
+        assert workload.iterations == 7
+
+    def test_minimum_one_iteration(self):
+        workload = create_workload("is", nprocs=4, scale=1e-6)
+        assert workload.iterations >= 1
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            create_workload("bt", nprocs=0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            create_workload("bt", nprocs=4, scale=0.0)
+
+    def test_describe(self):
+        workload = create_workload("bt", nprocs=9, scale=0.1)
+        description = workload.describe()
+        assert description.name == "bt"
+        assert description.nprocs == 9
+        assert description.representative_rank == 3
+        assert "grid" in description.parameters
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Workload(nprocs=2)
+
+
+class TestWorkloadValidation:
+    def test_bt_requires_square(self):
+        with pytest.raises(ValueError):
+            create_workload("bt", nprocs=6)
+
+    def test_cg_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            create_workload("cg", nprocs=6)
+
+    def test_sweep3d_accepts_six(self):
+        assert create_workload("sweep3d", nprocs=6).nprocs == 6
+
+    def test_synthetic_validations(self):
+        with pytest.raises(ValueError):
+            create_workload("periodic-pattern", nprocs=1)
+        with pytest.raises(ValueError):
+            create_workload("random-sender", nprocs=2)
+        with pytest.raises(ValueError):
+            create_workload("ring-exchange", nprocs=1)

@@ -1,0 +1,96 @@
+"""Tests for repro.workloads.topology."""
+
+import pytest
+
+from repro.workloads.topology import (
+    factor_2d,
+    grid_coords,
+    grid_rank,
+    is_power_of_two,
+    log2_int,
+    neighbor,
+    square_side,
+)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+        assert not is_power_of_two(-4)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(32) == 5
+
+    def test_log2_int_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(6)
+
+
+class TestSquareSide:
+    @pytest.mark.parametrize("nprocs,side", [(1, 1), (4, 2), (9, 3), (16, 4), (25, 5)])
+    def test_valid_squares(self, nprocs, side):
+        assert square_side(nprocs) == side
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            square_side(8)
+
+
+class TestFactor2D:
+    @pytest.mark.parametrize(
+        "nprocs,expected",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)), (8, (4, 2)), (12, (4, 3)), (32, (8, 4))],
+    )
+    def test_most_square_factorisation(self, nprocs, expected):
+        assert factor_2d(nprocs) == expected
+
+    def test_prime(self):
+        assert factor_2d(7) == (7, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor_2d(0)
+
+
+class TestGridMapping:
+    def test_roundtrip(self):
+        dims = (4, 3)
+        for rank in range(12):
+            x, y = grid_coords(rank, dims)
+            assert grid_rank(x, y, dims) == rank
+
+    def test_row_major(self):
+        assert grid_coords(5, (4, 3)) == (1, 1)
+        assert grid_rank(1, 1, (4, 3)) == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            grid_coords(12, (4, 3))
+        with pytest.raises(ValueError):
+            grid_rank(4, 0, (4, 3))
+
+
+class TestNeighbor:
+    def test_periodic_wraps(self):
+        dims = (3, 3)
+        assert neighbor(0, dims, -1, 0, periodic=True) == 2
+        assert neighbor(0, dims, 0, -1, periodic=True) == 6
+
+    def test_open_boundary_returns_none(self):
+        dims = (3, 3)
+        assert neighbor(0, dims, -1, 0, periodic=False) is None
+        assert neighbor(0, dims, 0, -1, periodic=False) is None
+        assert neighbor(8, dims, 1, 0, periodic=False) is None
+
+    def test_interior_neighbours(self):
+        dims = (3, 3)
+        assert neighbor(4, dims, 1, 0, periodic=False) == 5
+        assert neighbor(4, dims, 0, 1, periodic=False) == 7
+
+    def test_diagonal(self):
+        assert neighbor(4, (3, 3), -1, -1, periodic=True) == 0
