@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+This ``__init__`` makes the directory a proper package so that the benchmark
+modules' ``from .conftest import write_result`` imports resolve when pytest
+collects them from the repository root (without it, collection dies with
+"attempted relative import with no known parent package").
+"""

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Run the predictor microbenchmarks non-interactively and write BENCH_dpd.json.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [--output BENCH_dpd.json] [--keyword EXPR]
+
+Equivalent to ``python -m repro bench``.  The JSON artefact records the
+per-benchmark mean/stddev so future PRs have a perf trajectory to compare
+against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.analysis.bench import (  # noqa: E402
+    DEFAULT_KEYWORD,
+    render_summary,
+    run_microbenchmarks,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(_REPO_ROOT / "BENCH_dpd.json"),
+        help="where to write the JSON artefact (default: repo root BENCH_dpd.json)",
+    )
+    parser.add_argument(
+        "--keyword",
+        default=DEFAULT_KEYWORD,
+        help="pytest -k selector for which microbenchmarks run",
+    )
+    args = parser.parse_args(argv)
+    summary = run_microbenchmarks(
+        bench_dir=pathlib.Path(__file__).resolve().parent,
+        output=args.output,
+        keyword=args.keyword,
+    )
+    print(render_summary(summary))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

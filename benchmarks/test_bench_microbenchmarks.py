@@ -67,7 +67,7 @@ class TestPredictorMicrobenchmarks:
         assert result.accuracy(1) > 0.9
 
     def test_bench_dpd_distance_computation(self, benchmark):
-        """The vectorised equation-(1) distance scan in isolation."""
+        """Snapshotting the incrementally maintained distances (O(M) copy)."""
 
         detector = DynamicPeriodicityDetector(window_size=64, max_period=256)
         for value in PATTERN[: 64 + 256]:
@@ -75,6 +75,42 @@ class TestPredictorMicrobenchmarks:
 
         distances = benchmark(detector.distances)
         assert distances.size == 256
+
+    def test_bench_dpd_distances_naive(self, benchmark):
+        """The pre-refactor full equation-(1) rescan (reference cost)."""
+
+        detector = DynamicPeriodicityDetector(window_size=64, max_period=256)
+        for value in PATTERN[: 64 + 256]:
+            detector.observe(value)
+
+        distances = benchmark(detector.distances_naive)
+        assert distances.size == 256
+
+    def test_bench_dpd_batch_observe(self, benchmark):
+        """Amortised per-sample cost of the batch path (trace replay)."""
+
+        chunk = np.array(PATTERN, dtype=np.int64)
+
+        def run():
+            detector = DynamicPeriodicityDetector(window_size=24, max_period=256)
+            detector.batch_observe(chunk, return_periods=True)
+            return detector
+
+        detector = benchmark(run)
+        assert detector.samples_seen == chunk.size
+
+    def test_bench_predictor_observe_many(self, benchmark):
+        """Vectorised bulk feed of the full predictor (warmup/replay path)."""
+
+        stream = np.array(PATTERN, dtype=np.int64)
+
+        def run():
+            predictor = PeriodicityPredictor(window_size=24, max_period=256)
+            predictor.observe_many(stream)
+            return predictor
+
+        predictor = benchmark(run)
+        assert predictor.current_period == 18
 
 
 class TestSimulatorMicrobenchmarks:

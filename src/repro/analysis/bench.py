@@ -1,0 +1,123 @@
+"""Non-interactive microbenchmark runner (the repo's perf trajectory).
+
+Runs the pytest-benchmark microbenchmarks of the predictor hot path in a
+subprocess and condenses the per-benchmark statistics into a small JSON
+artefact (``BENCH_dpd.json``) so successive PRs can compare per-observe cost
+without re-reading raw pytest output.  Exposed both as
+``python -m repro bench`` and as ``benchmarks/run_benchmarks.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+__all__ = ["default_benchmarks_dir", "run_microbenchmarks", "render_summary"]
+
+#: Benchmark module holding the hot-path microbenchmarks.
+MICROBENCH_MODULE = "test_bench_microbenchmarks.py"
+
+#: Default ``-k`` selector: only the predictor/DPD benchmarks, not the
+#: (much slower) whole-paper table and figure regeneration benchmarks.
+DEFAULT_KEYWORD = "dpd or predictor or evaluate_stream"
+
+
+def default_benchmarks_dir() -> pathlib.Path | None:
+    """Locate the ``benchmarks/`` directory of this checkout, if any."""
+    candidates = [
+        pathlib.Path.cwd() / "benchmarks",
+        # src/repro/analysis/bench.py -> repository root in a src layout
+        pathlib.Path(__file__).resolve().parents[3] / "benchmarks",
+    ]
+    for candidate in candidates:
+        if (candidate / MICROBENCH_MODULE).is_file():
+            return candidate
+    return None
+
+
+def run_microbenchmarks(
+    bench_dir: str | pathlib.Path | None = None,
+    output: str | pathlib.Path | None = None,
+    keyword: str = DEFAULT_KEYWORD,
+) -> dict:
+    """Run the microbenchmarks and return (and optionally write) a summary.
+
+    Parameters
+    ----------
+    bench_dir:
+        The ``benchmarks/`` directory; auto-detected when None.
+    output:
+        Path of the JSON artefact to write (e.g. ``BENCH_dpd.json``); not
+        written when None.
+    keyword:
+        pytest ``-k`` selector choosing which benchmarks run.
+    """
+    directory = pathlib.Path(bench_dir) if bench_dir else default_benchmarks_dir()
+    if directory is None or not (directory / MICROBENCH_MODULE).is_file():
+        raise FileNotFoundError(
+            "could not locate the benchmarks/ directory; pass bench_dir explicitly"
+        )
+    with tempfile.TemporaryDirectory() as scratch:
+        raw_path = pathlib.Path(scratch) / "benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(directory / MICROBENCH_MODULE),
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            f"--benchmark-json={raw_path}",
+        ]
+        if keyword:
+            command += ["-k", keyword]
+        completed = subprocess.run(
+            command,
+            cwd=directory.parent,
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0 or not raw_path.is_file():
+            raise RuntimeError(
+                "benchmark run failed\n"
+                f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+            )
+        raw = json.loads(raw_path.read_text(encoding="utf-8"))
+
+    benchmarks = {}
+    for entry in sorted(raw.get("benchmarks", []), key=lambda e: e["name"]):
+        stats = entry["stats"]
+        benchmarks[entry["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "median_s": stats["median"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+        }
+    summary = {
+        "datetime": raw.get("datetime"),
+        "machine": {
+            key: raw.get("machine_info", {}).get(key)
+            for key in ("node", "processor", "python_version")
+        },
+        "keyword": keyword,
+        "benchmarks": benchmarks,
+    }
+    if output is not None:
+        out_path = pathlib.Path(output)
+        out_path.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    return summary
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable table of a :func:`run_microbenchmarks` summary."""
+    lines = [f"{'benchmark':58s} {'mean':>12s} {'stddev':>12s} {'rounds':>7s}"]
+    for name, stats in summary["benchmarks"].items():
+        lines.append(
+            f"{name:58s} {stats['mean_s'] * 1e6:10.2f}us {stats['stddev_s'] * 1e6:10.2f}us "
+            f"{stats['rounds']:7d}"
+        )
+    return "\n".join(lines)

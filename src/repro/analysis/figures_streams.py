@@ -25,15 +25,11 @@ __all__ = ["Figure1Result", "Figure2Result", "figure1", "figure2"]
 
 
 def _detect_period(stream: np.ndarray, window_size: int = 24, max_period: int = 256) -> int | None:
-    """Detect the periodicity of a full stream with the DPD."""
+    """Detect the periodicity of a full stream with the DPD (batch path)."""
     detector = DynamicPeriodicityDetector(window_size=window_size, max_period=max_period)
-    detection: int | None = None
-    for value in stream:
-        detector.observe(int(value))
-        result = detector.detect()
-        if result.periodic:
-            detection = result.period
-    return detection
+    periods = detector.batch_observe(np.asarray(stream, dtype=np.int64), return_periods=True)
+    detected = periods[periods > 0]
+    return int(detected[-1]) if detected.size else None
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,9 @@ Commands
 ``report``
     Regenerate the full measured-vs-paper report (Table 1, Figures 1-4,
     extensions, ablations) — the content of EXPERIMENTS.md.
+``bench``
+    Run the predictor/DPD microbenchmarks non-interactively and write the
+    ``BENCH_dpd.json`` perf-trajectory artefact.
 ``list``
     List the available workloads and the paper's 19 configurations.
 """
@@ -75,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--output", type=str, default=None)
     report_cmd.add_argument("--skip-extensions", action="store_true")
     report_cmd.add_argument("--skip-ablations", action="store_true")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="run the microbenchmarks and write BENCH_dpd.json"
+    )
+    bench_cmd.add_argument(
+        "--output", type=str, default="BENCH_dpd.json", metavar="FILE"
+    )
+    bench_cmd.add_argument("--bench-dir", type=str, default=None)
+    bench_cmd.add_argument("--keyword", type=str, default=None)
 
     sub.add_parser("list", help="list workloads and paper configurations")
     return parser
@@ -162,6 +174,22 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.analysis.bench import DEFAULT_KEYWORD, render_summary, run_microbenchmarks
+
+    keyword = args.keyword if args.keyword is not None else DEFAULT_KEYWORD
+    try:
+        summary = run_microbenchmarks(
+            bench_dir=args.bench_dir, output=args.output, keyword=keyword
+        )
+    except (FileNotFoundError, RuntimeError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(render_summary(summary))
+    print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("available workloads:")
     for name in workload_names():
@@ -180,6 +208,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "table1": _cmd_table1,
     "report": _cmd_report,
+    "bench": _cmd_bench,
     "list": _cmd_list,
 }
 

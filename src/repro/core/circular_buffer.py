@@ -1,10 +1,21 @@
-"""Fixed-capacity circular buffer backed by a NumPy array.
+"""Fixed-capacity circular buffer backed by a mirrored NumPy array.
 
 The paper notes that the predictor is implemented "with circular lists, which
 reduces the overhead of the predictor" since prediction happens at runtime
-inside the MPI library.  This class is that structure: appends are O(1), no
-memory is allocated after construction, and a chronological view of the
-contents is materialised only when the detector actually needs it.
+inside the MPI library.  This class is that structure, tuned for the
+incremental periodicity detector: the ring is stored *twice* (ring slot ``i``
+is mirrored at physical index ``i + capacity``), so the most recent ``n``
+values always occupy one contiguous slice of the backing array no matter
+where the ring has wrapped.  That makes
+
+* :meth:`view_last` a zero-copy O(1) view (no ``concatenate`` copy),
+* :meth:`__getitem__` a single modulo-free load (O(1) chronological pair
+  lookup for the detector's enter/leave pairs),
+* :meth:`extend` a handful of vectorised slice writes instead of a Python
+  per-element loop,
+
+at the cost of one extra scalar store per :meth:`append` and 2x the (tiny)
+ring memory.
 """
 
 from __future__ import annotations
@@ -12,6 +23,15 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["CircularBuffer"]
+
+
+def _as_int64_1d(values) -> np.ndarray:
+    """Coerce ``values`` (array, sequence, or iterable) to a 1-D int64 array."""
+    if isinstance(values, np.ndarray):
+        return np.ascontiguousarray(values.reshape(-1), dtype=np.int64)
+    if isinstance(values, (list, tuple, range)):
+        return np.asarray(values, dtype=np.int64).reshape(-1)
+    return np.fromiter(values, dtype=np.int64)
 
 
 class CircularBuffer:
@@ -28,8 +48,9 @@ class CircularBuffer:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
-        self._data = np.zeros(self.capacity, dtype=np.int64)
-        self._head = 0  # index where the next value will be written
+        # Mirrored storage: ring slot i lives at i and at i + capacity.
+        self._data = np.zeros(2 * self.capacity, dtype=np.int64)
+        self._pos = 0  # ring slot where the next value will be written
         self._count = 0
         self.total_appended = 0
 
@@ -43,28 +64,75 @@ class CircularBuffer:
 
     def append(self, value: int) -> None:
         """Append one value, overwriting the oldest when full."""
-        self._data[self._head] = int(value)
-        self._head = (self._head + 1) % self.capacity
+        v = int(value)
+        pos = self._pos
+        # One strided store hits both mirror slots (pos and pos + capacity).
+        self._data[pos :: self.capacity] = v
+        pos += 1
+        self._pos = 0 if pos == self.capacity else pos
         if self._count < self.capacity:
             self._count += 1
         self.total_appended += 1
 
     def extend(self, values) -> None:
-        """Append every value in ``values`` in order."""
-        for value in values:
-            self.append(value)
+        """Append every value in ``values`` in order (vectorised).
+
+        Equivalent to ``for v in values: self.append(v)`` but performed with
+        at most two slice writes per mirror half.  When ``values`` is longer
+        than the capacity only its tail is written at all.
+        """
+        arr = _as_int64_1d(values)
+        k = int(arr.shape[0])
+        if k == 0:
+            return
+        cap = self.capacity
+        self.total_appended += k
+        if k >= cap:
+            tail = arr[k - cap :]
+            self._data[:cap] = tail
+            self._data[cap:] = tail
+            self._pos = 0
+            self._count = cap
+            return
+        pos = self._pos
+        first = min(k, cap - pos)
+        self._data[pos : pos + first] = arr[:first]
+        self._data[pos + cap : pos + cap + first] = arr[:first]
+        rest = k - first
+        if rest:
+            self._data[:rest] = arr[first:]
+            self._data[cap : cap + rest] = arr[first:]
+        pos += k
+        self._pos = pos - cap if pos >= cap else pos
+        self._count = min(self._count + k, cap)
 
     def clear(self) -> None:
         """Remove all values and reset the append counter (capacity unchanged)."""
-        self._head = 0
+        self._pos = 0
         self._count = 0
         self.total_appended = 0
 
+    def view_last(self, n: int) -> np.ndarray:
+        """Zero-copy chronological view of the most recent ``n`` values.
+
+        ``n`` is clamped to the current length.  The returned array aliases
+        the ring storage and is only valid until the next mutating call
+        (``append``/``extend``/``clear``); callers that need to keep the data
+        must copy it (or use :meth:`last`).
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        n = min(n, self._count)
+        end = self._pos + self.capacity
+        return self._data[end - n : end]
+
+    def view(self) -> np.ndarray:
+        """Zero-copy chronological view of the whole contents (see view_last)."""
+        return self.view_last(self._count)
+
     def to_array(self) -> np.ndarray:
         """Return the contents in chronological order (oldest first)."""
-        if self._count < self.capacity:
-            return self._data[: self._count].copy()
-        return np.concatenate((self._data[self._head :], self._data[: self._head]))
+        return self.view_last(self._count).copy()
 
     def __getitem__(self, index: int) -> int:
         """Chronological indexing: 0 is the oldest value, -1 the newest."""
@@ -72,18 +140,13 @@ class CircularBuffer:
             raise IndexError(f"index {index} out of range for length {self._count}")
         if index < 0:
             index += self._count
-        if self._count < self.capacity:
-            return int(self._data[index])
-        return int(self._data[(self._head + index) % self.capacity])
+        return int(self._data[self._pos + self.capacity - self._count + index])
 
     def last(self, n: int) -> np.ndarray:
-        """Return the most recent ``n`` values in chronological order."""
+        """Return a copy of the most recent ``n`` values in chronological order."""
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
-        n = min(n, self._count)
-        if n == 0:
-            return np.empty(0, dtype=np.int64)
-        return self.to_array()[-n:]
+        return self.view_last(n).copy()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CircularBuffer(capacity={self.capacity}, len={self._count})"

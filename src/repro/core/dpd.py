@@ -1,7 +1,7 @@
-"""The Dynamic Periodicity Detector (equation 1 of the paper).
+"""The Dynamic Periodicity Detector (equation 1 of the paper), incremental.
 
 For a window of the last ``N`` stream samples and a candidate delay
-``m`` (``0 < m < M``, ``M <= N``), the detector computes
+``m`` (``0 < m <= M``), the detector computes
 
 .. math::
 
@@ -11,11 +11,47 @@ i.e. the number of positions at which the window differs from itself shifted
 by ``m``.  ``d(m) = 0`` means the window repeats exactly with period ``m``.
 The smallest such ``m`` is reported as the stream's periodicity.
 
+Incremental update
+------------------
+The paper stresses that "prediction has to be done at runtime" inside the MPI
+library, so the per-message cost of the detector is the budget that matters.
+Recomputing every ``d(m)`` from scratch on each sample costs ``O(N * M)``.
+This implementation instead keeps one mismatch counter per candidate delay
+and exploits that appending sample ``x[T]`` slides the window by one, which
+changes each ``d(m)`` by exactly two indicator terms:
+
+.. math::
+
+    d_T(m) = d_{T-1}(m)
+             + \\mathbf{1}[x[T] \\ne x[T-m]]          \\quad\\text{(pair entering)}
+             - \\mathbf{1}[x[T-N] \\ne x[T-N-m]]      \\quad\\text{(pair leaving)}
+
+Both indicator vectors (over all ``m`` at once) are single NumPy comparisons
+against zero-copy views of the ring buffer, so one ``observe`` costs ``O(M)``
+vectorised work regardless of the window size.  While the history is still
+growing, at most one delay per append becomes newly evaluable and its counter
+is initialised with one ``O(N)`` scan — amortised away after the first
+``N + M`` samples.
+
+Complexity (``N`` = window_size, ``M`` = max_period, ``k`` = batch length):
+
+==========================  ==================  =======================
+operation                   naive (seed)        incremental (this file)
+==========================  ==================  =======================
+``observe``                 O(1) append         O(M) counter update
+``distances`` / ``detect``  O(N * M) scan       O(M) copy + scan
+observe+detect per message  O(N * M)            O(M) amortised
+``batch_observe`` of k      k * O(N * M)        O((k + N + M) * M) total
+==========================  ==================  =======================
+
+The pre-refactor full rescan survives as :meth:`distances_naive` and is used
+by the equivalence tests to cross-validate the counters bit-for-bit.
+
 The detector keeps ``N + M`` samples of history in a
 :class:`repro.core.circular_buffer.CircularBuffer` (the shifted comparison
-needs ``M`` samples before the window) and evaluates all candidate delays
-with one vectorised NumPy comparison, following the hpc-parallel guide's
-advice to vectorise the hot loop rather than iterating in Python.
+needs ``M`` samples before the window); the mirrored ring makes every slice
+above a zero-copy view, following the hpc-parallel guide's advice to
+vectorise the hot loop rather than iterating in Python.
 
 A tolerance knob allows "almost periodic" windows (useful for the noisy
 physical-level streams): a delay is accepted when at most
@@ -28,9 +64,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.circular_buffer import CircularBuffer
+from repro.core.circular_buffer import CircularBuffer, _as_int64_1d
 
 __all__ = ["PeriodicityResult", "DynamicPeriodicityDetector"]
+
+#: Batch periods are computed on O(M * chunk) scratch matrices; bigger inputs
+#: are processed in chunks of this many samples to bound peak memory.
+_BATCH_CHUNK = 8192
 
 
 @dataclass(frozen=True)
@@ -60,7 +100,7 @@ class PeriodicityResult:
 
 
 class DynamicPeriodicityDetector:
-    """Online DPD over an integer-valued stream.
+    """Online DPD over an integer-valued stream with O(M) per-sample cost.
 
     Parameters
     ----------
@@ -99,6 +139,13 @@ class DynamicPeriodicityDetector:
         self.max_period = int(max_period)
         self.mismatch_tolerance = int(mismatch_tolerance)
         self._history = CircularBuffer(self.window_size + self.max_period)
+        # Anchored-reversed counter layout: _counters[max_period - m] == d(m)
+        # for m = 1 .. _usable (other entries are stale and never read).  With
+        # delays descending along the array, the enter/leave indicator vectors
+        # are ascending chronological ring views — no [::-1] reversal needed
+        # on the per-sample path.
+        self._counters = np.zeros(self.max_period, dtype=np.int64)
+        self._usable = 0
 
     # ------------------------------------------------------------------
     @property
@@ -106,23 +153,124 @@ class DynamicPeriodicityDetector:
         """Total number of samples observed so far."""
         return self._history.total_appended
 
+    @property
+    def retained(self) -> int:
+        """Number of history samples currently held (at most N + M)."""
+        return len(self._history)
+
     def observe(self, value: int) -> None:
-        """Feed one stream sample to the detector."""
-        self._history.append(int(value))
+        """Feed one stream sample; updates every ``d(m)`` in O(M).
+
+        This is the per-message runtime path, so it reaches straight into the
+        mirrored ring's fields (same package, see
+        :class:`~repro.core.circular_buffer.CircularBuffer` for the layout)
+        to keep the whole update at three ufunc calls.
+        """
+        v = int(value)
+        buf = self._history
+        n = self.window_size
+        u = self._usable
+        data = buf._data
+        cap = buf.capacity
+        if u:
+            # Enter/leave pairs are read from the pre-append state: the append
+            # below may overwrite the oldest sample, which is exactly
+            # x[T-N-M] — the partner of the leaving pair at the largest delay.
+            end = buf._pos + cap
+            counters = self._counters[self.max_period - u :]
+            # entering pair for delay m: (x[T], x[T-m])
+            counters += v != data[end - u : end]
+            # leaving pair for delay m: (x[T-N], x[T-N-m])
+            out = end - n
+            counters -= data[out] != data[out - u : out]
+        pos = buf._pos
+        # One strided store hits both mirror slots (pos and pos + cap).
+        data[pos::cap] = v
+        pos += 1
+        buf._pos = 0 if pos == cap else pos
+        if buf._count < cap:
+            buf._count += 1
+        buf.total_appended += 1
+        if u < self.max_period and buf.total_appended - n > u:
+            # Exactly one delay (m = u + 1) became evaluable: initialise its
+            # counter with a full-window scan (O(N), once per delay ever).
+            m = u + 1
+            h = buf.view()
+            length = h.shape[0]
+            self._counters[self.max_period - m] = np.count_nonzero(
+                h[length - n :] != h[length - n - m : length - m]
+            )
+            self._usable = m
+
+    def batch_observe(self, values, return_periods: bool = False):
+        """Feed many samples at once (the amortised fast path).
+
+        The final counter state is bit-identical to feeding the samples one
+        by one (``d(m)`` is a pure function of the retained history): the
+        ring is extended with vectorised slice writes and the counters are
+        rebuilt with one vectorised scan, so a batch of ``k`` samples costs
+        ``O((k + N + M) * M)`` total instead of ``k`` incremental updates'
+        Python overhead.
+
+        Parameters
+        ----------
+        values:
+            Array/sequence/iterable of integer samples.
+        return_periods:
+            When True, also compute the periodicity decision *after every
+            appended sample* (what a sequential ``observe``/``detect`` loop
+            would have seen) and return them as an int64 array where entry
+            ``j`` is the detected period after ``values[j]`` (0 = none).
+
+        Returns
+        -------
+        ``None``, or the per-step period array when ``return_periods``.
+        """
+        arr = _as_int64_1d(values)
+        k = int(arr.shape[0])
+        if k == 0:
+            return np.zeros(0, dtype=np.int64) if return_periods else None
+        periods: np.ndarray | None = None
+        if return_periods:
+            chunks = []
+            for start in range(0, k, _BATCH_CHUNK):
+                chunk = arr[start : start + _BATCH_CHUNK]
+                chunks.append(self._batch_periods(chunk))
+                self._history.extend(chunk)
+            periods = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        else:
+            self._history.extend(arr)
+        self._recompute_counters()
+        return periods
 
     def reset(self) -> None:
         """Forget all history."""
         self._history.clear()
+        self._counters[:] = 0
+        self._usable = 0
 
     # ------------------------------------------------------------------
     def distances(self) -> np.ndarray:
-        """Compute ``d(m)`` for every evaluable delay ``m = 1 .. max_period``.
+        """Return ``d(m)`` for every evaluable delay ``m = 1 .. max_period``.
 
         Delays for which there is not yet enough history are omitted: with
         ``L`` samples of history, only delays ``m <= L - window_size`` can be
         evaluated (the window always uses the most recent ``window_size``
         samples).  The returned array has one entry per delay starting at
         ``m=1``; it is empty while ``L <= window_size``.
+
+        This is an O(M) copy of the incrementally maintained counters; see
+        :meth:`distances_naive` for the from-scratch reference scan.
+        """
+        u = self._usable
+        return self._counters[self.max_period - u :][::-1].copy() if u else np.empty(0, dtype=np.int64)
+
+    def distances_naive(self) -> np.ndarray:
+        """Recompute every ``d(m)`` from scratch (pre-refactor O(N*M) scan).
+
+        Kept as the independent reference implementation: the equivalence
+        tests assert it stays bit-identical to :meth:`distances` after every
+        append.
         """
         history = self._history.to_array()
         length = history.shape[0]
@@ -137,14 +285,32 @@ class DynamicPeriodicityDetector:
         shifted = windows[base_index - usable_delays : base_index][::-1]
         return np.count_nonzero(shifted != window[np.newaxis, :], axis=1).astype(np.int64)
 
+    def _accepted_period(self, ascending: np.ndarray) -> int | None:
+        """Smallest delay whose distance passes the tolerance, else None.
+
+        ``ascending`` is a ``d(m)`` array indexed by ``m - 1``; the sole home
+        of the acceptance rule shared by :meth:`current_period`,
+        :meth:`detect` and (via its mask) :meth:`_batch_periods`.
+        """
+        if self.mismatch_tolerance == 0:
+            index = int(ascending.argmin())
+            return index + 1 if ascending[index] == 0 else None
+        accepted = ascending <= self.mismatch_tolerance
+        index = int(accepted.argmax())
+        return index + 1 if accepted[index] else None
+
+    def current_period(self) -> int | None:
+        """Smallest accepted delay right now, without materialising a result."""
+        u = self._usable
+        if not u:
+            return None
+        return self._accepted_period(self._counters[self.max_period - u :][::-1])
+
     def detect(self) -> PeriodicityResult:
         """Return the current periodicity decision (smallest accepted delay)."""
+        # One ascending copy serves both the snapshot and the period scan.
         distances = self.distances()
-        period: int | None = None
-        if distances.size:
-            accepted = np.nonzero(distances <= self.mismatch_tolerance)[0]
-            if accepted.size:
-                period = int(accepted[0]) + 1
+        period = self._accepted_period(distances) if distances.size else None
         return PeriodicityResult(
             period=period, distances=distances, samples_seen=self.samples_seen
         )
@@ -152,3 +318,68 @@ class DynamicPeriodicityDetector:
     def history(self) -> np.ndarray:
         """Chronological copy of the retained history (for prediction replay)."""
         return self._history.to_array()
+
+    def history_view(self, n: int | None = None) -> np.ndarray:
+        """Zero-copy view of the last ``n`` retained samples (all when None).
+
+        Valid only until the next ``observe``/``batch_observe``/``reset``.
+        """
+        if n is None:
+            return self._history.view()
+        return self._history.view_last(n)
+
+    # ------------------------------------------------------------------
+    def _recompute_counters(self) -> None:
+        """Rebuild all counters from the retained history (one vectorised scan)."""
+        h = self._history.view()
+        length = h.shape[0]
+        usable = min(self.max_period, length - self.window_size)
+        if usable < 1:
+            self._usable = 0
+            return
+        windows = np.lib.stride_tricks.sliding_window_view(h, self.window_size)
+        base_index = length - self.window_size
+        # windows[base_index - m] is the window shifted by m; ascending row
+        # order therefore matches the anchored-reversed counter layout.
+        shifted = windows[base_index - usable : base_index]
+        self._counters[self.max_period - usable :] = np.count_nonzero(
+            shifted != h[base_index:][np.newaxis, :], axis=1
+        )
+        self._usable = usable
+
+    def _batch_periods(self, chunk: np.ndarray) -> np.ndarray:
+        """Per-step periodicity decisions for appending ``chunk`` (pre-append state).
+
+        Uses prefix sums of the lagged-mismatch matrix: with ``A`` the
+        concatenation of the retained history and the chunk,
+        ``MM[m-1, a] = 1[A[a] != A[a-m]]`` and ``C`` its cumulative sum along
+        ``a``, the distance after appending ``chunk[j]`` is
+        ``d_j(m) = C[m-1, e_j] - C[m-1, e_j - N]`` where ``e_j`` indexes the
+        newest sample of step ``j``'s window.
+        """
+        n = self.window_size
+        max_p = self.max_period
+        tol = self.mismatch_tolerance
+        total0 = self._history.total_appended
+        length0 = len(self._history)
+        k = int(chunk.shape[0])
+        a = np.concatenate((self._history.view(), chunk))
+        size = int(a.shape[0])
+        # usable delays after step j (total samples = total0 + j + 1)
+        usable = np.minimum(total0 + np.arange(1, k + 1) - n, max_p)
+        if size <= n or usable[-1] < 1:
+            return np.zeros(k, dtype=np.int64)
+        lags = min(max_p, size - 1)
+        mismatch = np.zeros((lags, size), dtype=bool)
+        for m in range(1, lags + 1):
+            mismatch[m - 1, m:] = a[m:] != a[:-m]
+        cumulative = np.cumsum(mismatch, axis=1, dtype=np.int32)
+        newest = length0 + np.arange(k)  # local index of x[T_j - 1] = chunk[j]
+        older = np.clip(newest - n, 0, size - 1)
+        distance = cumulative[:, newest] - cumulative[:, older]  # (lags, k)
+        accepted = (distance <= tol) & (
+            np.arange(1, lags + 1)[:, np.newaxis] <= usable[np.newaxis, :]
+        )
+        first = np.argmax(accepted, axis=0)
+        found = accepted[first, np.arange(k)]
+        return np.where(found, first + 1, 0).astype(np.int64)

@@ -144,25 +144,40 @@ def evaluate_stream(
     attempts = np.zeros(horizon, dtype=np.int64)
     predicted = np.zeros(horizon, dtype=np.int64)
 
-    for t in range(n):
-        if t >= warmup:
-            predictions = predictor.predict(horizon)
-            if len(predictions) != horizon:
-                raise ValueError(
-                    f"predictor returned {len(predictions)} predictions, expected {horizon}"
-                )
-            for k in range(1, horizon + 1):
-                target_index = t + k - 1
-                if target_index >= n:
-                    break
-                attempts[k - 1] += 1
-                prediction = predictions[k - 1]
-                if prediction is None:
-                    continue
-                predicted[k - 1] += 1
-                if int(prediction) == int(values[target_index]):
-                    hits[k - 1] += 1
+    # Warmup positions are never scored, so they can be fed through the
+    # predictor's vectorised batch path in one call.
+    warm = min(warmup, n)
+    if warm:
+        predictor.observe_many(values[:warm])
+
+    # Collect every prediction into pre-sized matrices and score them with
+    # one vectorised comparison per horizon after the replay loop.
+    scored = n - warm
+    predicted_values = np.zeros((scored, horizon), dtype=np.int64)
+    predicted_mask = np.zeros((scored, horizon), dtype=bool)
+    for t in range(warm, n):
+        step_values, step_mask = predictor.predict_array(horizon)
+        if step_values.shape[0] != horizon:
+            raise ValueError(
+                f"predictor returned {step_values.shape[0]} predictions, expected {horizon}"
+            )
+        row = t - warm
+        predicted_values[row] = step_values
+        predicted_mask[row] = step_mask
         predictor.observe(int(values[t]))
+
+    for k in range(1, horizon + 1):
+        # Positions t in [warm, n-k] have a scorable target at t + k - 1.
+        count = n - k + 1 - warm
+        if count <= 0:
+            continue
+        attempts[k - 1] = count
+        targets = values[warm + k - 1 : warm + k - 1 + count]
+        column_mask = predicted_mask[:count, k - 1]
+        predicted[k - 1] = np.count_nonzero(column_mask)
+        hits[k - 1] = np.count_nonzero(
+            column_mask & (predicted_values[:count, k - 1] == targets)
+        )
 
     return AccuracyResult(hits=hits, attempts=attempts, predicted=predicted, stream_length=n)
 

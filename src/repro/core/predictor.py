@@ -8,18 +8,30 @@ a whole period is known, *several* future values can be predicted at once,
 which is exactly what distinguishes this predictor from the single-step
 heuristics in the related work.
 
+Runtime cost: one :meth:`PeriodicityPredictor.observe` consumes the DPD's
+incrementally maintained mismatch counters (O(max_period) vectorised work)
+instead of re-running the full equation-(1) scan, and
+:meth:`PeriodicityPredictor.observe_many` feeds a whole chunk through the
+DPD's batch path while reproducing the exact per-sample bookkeeping
+(``detections``, ``period_changes``, stickiness) of a sequential loop.
+
 All predictors in this package share the :class:`BasePredictor` interface so
 that the evaluation harness and the ablation benchmarks can swap them freely:
 
 * :meth:`BasePredictor.observe` — feed the next observed stream value;
 * :meth:`BasePredictor.predict` — return predictions for the next ``horizon``
-  values (``None`` entries mean "no prediction").
+  values (``None`` entries mean "no prediction");
+* :meth:`BasePredictor.predict_array` — the same predictions as a
+  ``(values, mask)`` NumPy pair for vectorised scoring.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.core.circular_buffer import _as_int64_1d
 from repro.core.dpd import DynamicPeriodicityDetector
 
 __all__ = ["BasePredictor", "PeriodicityPredictor"]
@@ -53,6 +65,20 @@ class BasePredictor:
         """Feed a sequence of values in order."""
         for value in values:
             self.observe(value)
+
+    def predict_array(self, horizon: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Predictions as a ``(values, mask)`` pair of length-``horizon`` arrays.
+
+        ``mask[k]`` is False where the predictor declines (the matching
+        ``values[k]`` entry is meaningless).  The default implementation wraps
+        :meth:`predict`; vectorised predictors override it.
+        """
+        predictions = self.predict(horizon)
+        mask = np.array([p is not None for p in predictions], dtype=bool)
+        values = np.array(
+            [0 if p is None else int(p) for p in predictions], dtype=np.int64
+        )
+        return values, mask
 
 
 class PeriodicityPredictor(BasePredictor):
@@ -112,28 +138,77 @@ class PeriodicityPredictor(BasePredictor):
     # ------------------------------------------------------------------
     def observe(self, value: int) -> None:
         self._dpd.observe(value)
-        result = self._dpd.detect()
-        if result.periodic:
+        period = self._dpd.current_period()
+        if period is not None:
             self.detections += 1
-            if result.period != self._last_period:
+            if period != self._last_period:
                 self.period_changes += 1
-            self._last_period = result.period
+            self._last_period = period
         elif not self.sticky:
             self._last_period = None
 
-    def predict(self, horizon: int = 1) -> list[Optional[int]]:
+    def observe_many(self, values: Sequence[int]) -> None:
+        """Vectorised bulk feed; bit-equivalent to looping :meth:`observe`.
+
+        The samples go through the DPD batch path, and the per-sample
+        detection decisions it returns are folded into ``detections``,
+        ``period_changes`` and the (sticky) current period exactly as a
+        sequential loop would have.
+        """
+        arr = _as_int64_1d(values)
+        if arr.shape[0] == 0:
+            return
+        periods = self._dpd.batch_observe(arr, return_periods=True)
+        detected = periods > 0
+        count = int(np.count_nonzero(detected))
+        if count == 0:
+            if not self.sticky:
+                self._last_period = None
+            return
+        self.detections += count
+        previous = 0 if self._last_period is None else self._last_period
+        if self.sticky:
+            # Sticky: the reference value for "did the period change" is the
+            # previous *detected* period, however long ago.
+            sequence = periods[detected]
+            changes = int(np.count_nonzero(np.diff(sequence) != 0))
+            if int(sequence[0]) != previous:
+                changes += 1
+            self.period_changes += changes
+            self._last_period = int(sequence[-1])
+        else:
+            # Non-sticky: any non-detecting step resets the period to None
+            # (encoded as 0), so a detection after a gap always counts as a
+            # change.
+            reference = np.empty_like(periods)
+            reference[0] = previous
+            reference[1:] = np.where(detected[:-1], periods[:-1], 0)
+            self.period_changes += int(
+                np.count_nonzero(detected & (periods != reference))
+            )
+            self._last_period = int(periods[-1]) if detected[-1] else None
+
+    def predict_array(self, horizon: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised period replay: ``(values, mask)`` arrays (see base class)."""
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
         period = self._last_period
-        if period is None:
-            return [None] * horizon
-        history = self._dpd.history()
-        if history.shape[0] < period:
-            return [None] * horizon
-        last_period = history[-period:]
+        if period is None or self._dpd.retained < period:
+            return (
+                np.zeros(horizon, dtype=np.int64),
+                np.zeros(horizon, dtype=bool),
+            )
         # The value k steps ahead repeats the value at offset (k-1) mod period
-        # within the most recent period.
-        return [int(last_period[(k - 1) % period]) for k in range(1, horizon + 1)]
+        # within the most recent period (a zero-copy view of the ring).
+        last_period = self._dpd.history_view(period)
+        values = last_period[np.arange(horizon) % period]
+        return values, np.ones(horizon, dtype=bool)
+
+    def predict(self, horizon: int = 1) -> list[Optional[int]]:
+        values, mask = self.predict_array(horizon)
+        if not mask[0]:
+            return [None] * horizon
+        return [int(v) for v in values]
 
     def periodicity(self):
         """Expose the raw DPD decision (period, distances, samples)."""

@@ -71,6 +71,27 @@ class OnlineMessagePredictor:
         self._size_predictors[receiver].observe(int(nbytes))
         self.observations += 1
 
+    def observe_batch(self, receiver: int, senders, sizes) -> None:
+        """Record a whole burst of messages delivered to ``receiver``.
+
+        Both streams go through the predictors' vectorised ``observe_many``
+        path (for the paper's periodicity predictor this is the amortised
+        O(max_period)-per-message batch engine), which is how trace replay
+        feeds history without paying the per-call overhead of
+        :meth:`observe`.
+        """
+        senders = list(senders) if not hasattr(senders, "__len__") else senders
+        sizes = list(sizes) if not hasattr(sizes, "__len__") else sizes
+        if len(senders) != len(sizes):
+            raise ValueError(
+                f"senders and sizes must have equal length, got {len(senders)} != {len(sizes)}"
+            )
+        if not len(senders):
+            return
+        self._sender_predictors[receiver].observe_many(senders)
+        self._size_predictors[receiver].observe_many(sizes)
+        self.observations += len(senders)
+
     def predict(self, receiver: int, horizon: int | None = None) -> list[PredictedMessage]:
         """Predict the next messages expected at ``receiver``."""
         h = self.horizon if horizon is None else int(horizon)

@@ -87,3 +87,73 @@ class TestCircularBuffer:
             buffer.append(value)
             reference.append(value)
             assert buffer.to_array().tolist() == reference[-capacity:]
+
+
+class TestViews:
+    def test_view_last_is_zero_copy(self):
+        buffer = CircularBuffer(4)
+        buffer.extend([1, 2, 3, 4, 5, 6])  # wrapped
+        view = buffer.view_last(3)
+        assert view.tolist() == [4, 5, 6]
+        assert np.shares_memory(view, buffer._data)
+
+    def test_view_last_clamps_to_length(self):
+        buffer = CircularBuffer(5)
+        buffer.extend([1, 2])
+        assert buffer.view_last(10).tolist() == [1, 2]
+        assert buffer.view_last(0).tolist() == []
+
+    def test_view_last_negative(self):
+        with pytest.raises(ValueError):
+            CircularBuffer(3).view_last(-1)
+
+    def test_view_matches_to_array_at_every_step(self):
+        buffer = CircularBuffer(5)
+        for i in range(23):
+            buffer.append(i)
+            assert buffer.view().tolist() == buffer.to_array().tolist()
+
+    def test_last_returns_independent_copy(self):
+        buffer = CircularBuffer(4)
+        buffer.extend([1, 2, 3, 4])
+        tail = buffer.last(2)
+        tail[0] = 99
+        assert buffer.to_array().tolist() == [1, 2, 3, 4]
+
+
+class TestVectorisedExtend:
+    @pytest.mark.parametrize("factory", [list, tuple, np.array, iter])
+    def test_extend_input_types(self, factory):
+        buffer = CircularBuffer(6)
+        buffer.extend(factory([1, 2, 3]))
+        assert buffer.to_array().tolist() == [1, 2, 3]
+
+    def test_extend_longer_than_capacity_keeps_tail(self):
+        buffer = CircularBuffer(3)
+        buffer.extend(np.arange(10))
+        assert buffer.to_array().tolist() == [7, 8, 9]
+        assert buffer.total_appended == 10
+        assert buffer.full
+
+    def test_extend_matches_appends_across_wraps(self):
+        rng = np.random.default_rng(5)
+        for capacity in (1, 2, 5, 8):
+            for sizes in ([3, 4, 2], [8, 1], [1] * 9, [0, 5, 0, 7]):
+                vectorised = CircularBuffer(capacity)
+                scalar = CircularBuffer(capacity)
+                for size in sizes:
+                    chunk = rng.integers(0, 100, size=size)
+                    vectorised.extend(chunk)
+                    for value in chunk:
+                        scalar.append(int(value))
+                    assert vectorised.to_array().tolist() == scalar.to_array().tolist()
+                    assert vectorised.total_appended == scalar.total_appended
+                    assert len(vectorised) == len(scalar)
+
+    def test_extend_after_clear(self):
+        buffer = CircularBuffer(4)
+        buffer.extend([1, 2, 3, 4, 5])
+        buffer.clear()
+        buffer.extend([7, 8])
+        assert buffer.to_array().tolist() == [7, 8]
+        assert buffer.total_appended == 2

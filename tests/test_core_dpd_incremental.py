@@ -1,0 +1,198 @@
+"""Equivalence tests for the incremental DPD engine (repro.core.dpd).
+
+The incremental mismatch counters, the batch path, and the predictor's
+vectorised ``observe_many`` must all be *bit-identical* to the naive
+from-scratch scan (:meth:`DynamicPeriodicityDetector.distances_naive`) and to
+a sequential ``observe`` loop, after every single append.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.dpd as dpd_module
+from repro.core.dpd import DynamicPeriodicityDetector
+from repro.core.predictor import PeriodicityPredictor
+
+values = st.integers(min_value=0, max_value=5)
+
+
+def assert_counters_match(detector: DynamicPeriodicityDetector) -> None:
+    incremental = detector.distances()
+    naive = detector.distances_naive()
+    assert incremental.dtype == naive.dtype == np.int64
+    np.testing.assert_array_equal(incremental, naive)
+
+
+class TestIncrementalEqualsNaive:
+    @given(
+        window=st.integers(1, 16),
+        max_period=st.integers(1, 32),
+        tolerance=st.integers(0, 3),
+        data=st.lists(values, max_size=160),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counters_match_naive_after_every_append(
+        self, window, max_period, tolerance, data
+    ):
+        detector = DynamicPeriodicityDetector(window, max_period, tolerance)
+        for value in data:
+            detector.observe(value)
+            assert_counters_match(detector)
+            # detect() must agree with the smallest accepted naive delay
+            naive = detector.distances_naive()
+            accepted = np.nonzero(naive <= tolerance)[0]
+            expected = int(accepted[0]) + 1 if accepted.size else None
+            assert detector.detect().period == expected
+            assert detector.current_period() == expected
+
+    @given(
+        window=st.integers(1, 12),
+        max_period=st.integers(1, 24),
+        tolerance=st.integers(0, 2),
+        data=st.lists(values, max_size=120),
+        split=st.integers(0, 120),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_batch_observe_equals_sequential(
+        self, window, max_period, tolerance, data, split
+    ):
+        sequential = DynamicPeriodicityDetector(window, max_period, tolerance)
+        step_periods = []
+        for value in data:
+            sequential.observe(value)
+            period = sequential.current_period()
+            step_periods.append(0 if period is None else period)
+
+        batched = DynamicPeriodicityDetector(window, max_period, tolerance)
+        split = min(split, len(data))
+        first = batched.batch_observe(data[:split], return_periods=True)
+        second = batched.batch_observe(data[split:], return_periods=True)
+        np.testing.assert_array_equal(
+            np.concatenate((first, second)),
+            np.asarray(step_periods, dtype=np.int64),
+        )
+        np.testing.assert_array_equal(batched.distances(), sequential.distances())
+        assert batched.samples_seen == sequential.samples_seen
+
+
+class TestEdgeCaseRegressions:
+    def test_not_yet_full_buffer_matches_naive_at_every_prefix(self):
+        rng = np.random.default_rng(42)
+        stream = rng.integers(0, 3, size=30)
+        # Capacity is 24, so the 30-sample run covers growing, just-full and
+        # freshly wrapped states.
+        detector = DynamicPeriodicityDetector(window_size=8, max_period=16)
+        for value in stream:
+            detector.observe(int(value))
+            assert_counters_match(detector)
+
+    def test_wraparound_matches_naive_long_after_buffer_full(self):
+        rng = np.random.default_rng(43)
+        detector = DynamicPeriodicityDetector(window_size=6, max_period=10)
+        # capacity is 16; run 10x longer so the ring wraps many times
+        for value in rng.integers(0, 2, size=160):
+            detector.observe(int(value))
+            assert_counters_match(detector)
+
+    def test_window_larger_than_max_period(self):
+        detector = DynamicPeriodicityDetector(window_size=12, max_period=3)
+        for value in [1, 2, 3] * 20:
+            detector.observe(value)
+            assert_counters_match(detector)
+        assert detector.detect().period == 3
+
+    def test_max_period_larger_than_window(self):
+        detector = DynamicPeriodicityDetector(window_size=4, max_period=30)
+        for value in list(range(10)) * 8:
+            detector.observe(value)
+            assert_counters_match(detector)
+        assert detector.detect().period == 10
+
+    def test_reset_clears_counters(self):
+        detector = DynamicPeriodicityDetector(window_size=4, max_period=8)
+        for value in [1, 2] * 10:
+            detector.observe(value)
+        detector.reset()
+        assert detector.distances().size == 0
+        assert detector.detect().period is None
+        for value in [3, 4, 5] * 10:
+            detector.observe(value)
+            assert_counters_match(detector)
+        assert detector.detect().period == 3
+
+    def test_batch_observe_empty_input(self):
+        detector = DynamicPeriodicityDetector(window_size=4)
+        assert detector.batch_observe([], return_periods=True).size == 0
+        assert detector.batch_observe([]) is None
+        assert detector.samples_seen == 0
+
+    def test_batch_observe_chunked_matches_single_shot(self, monkeypatch):
+        rng = np.random.default_rng(44)
+        stream = rng.integers(0, 2, size=200)
+        monkeypatch.setattr(dpd_module, "_BATCH_CHUNK", 16)
+        chunked = DynamicPeriodicityDetector(window_size=5, max_period=9)
+        chunked_periods = chunked.batch_observe(stream, return_periods=True)
+        monkeypatch.undo()
+        single = DynamicPeriodicityDetector(window_size=5, max_period=9)
+        single_periods = single.batch_observe(stream, return_periods=True)
+        np.testing.assert_array_equal(chunked_periods, single_periods)
+        np.testing.assert_array_equal(chunked.distances(), single.distances())
+
+    def test_tolerance_accepted_by_batch_and_incremental(self):
+        stream = [1, 2, 3, 4] * 10
+        stream[17] = 99
+        sequential = DynamicPeriodicityDetector(8, 8, mismatch_tolerance=2)
+        for value in stream:
+            sequential.observe(value)
+            assert_counters_match(sequential)
+        batched = DynamicPeriodicityDetector(8, 8, mismatch_tolerance=2)
+        periods = batched.batch_observe(stream, return_periods=True)
+        assert periods[-1] == 4
+        assert sequential.current_period() == 4
+
+
+class TestPredictorObserveMany:
+    @given(
+        window=st.integers(1, 10),
+        max_period=st.integers(1, 20),
+        sticky=st.booleans(),
+        data=st.lists(values, max_size=100),
+        split=st.integers(0, 100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_observe_many_matches_sequential_bookkeeping(
+        self, window, max_period, sticky, data, split
+    ):
+        sequential = PeriodicityPredictor(window, max_period, sticky=sticky)
+        for value in data:
+            sequential.observe(value)
+
+        batched = PeriodicityPredictor(window, max_period, sticky=sticky)
+        split = min(split, len(data))
+        batched.observe_many(data[:split])
+        batched.observe_many(data[split:])
+
+        assert batched.detections == sequential.detections
+        assert batched.period_changes == sequential.period_changes
+        assert batched.current_period == sequential.current_period
+        assert batched.predict(6) == sequential.predict(6)
+
+    def test_predict_array_matches_predict(self):
+        predictor = PeriodicityPredictor(window_size=6, max_period=6)
+        predictor.observe_many([4, 5, 6] * 8)
+        for horizon in (1, 3, 7):
+            array, mask = predictor.predict_array(horizon)
+            assert mask.all()
+            assert [int(v) for v in array] == predictor.predict(horizon)
+
+    def test_predict_array_declines_before_learning(self):
+        predictor = PeriodicityPredictor(window_size=6)
+        array, mask = predictor.predict_array(4)
+        assert not mask.any()
+        assert predictor.predict(4) == [None] * 4
+
+    def test_predict_array_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            PeriodicityPredictor().predict_array(0)

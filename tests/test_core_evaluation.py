@@ -112,6 +112,44 @@ class TestEvaluateStream:
         with pytest.raises(ValueError):
             evaluate_stream([1, 2, 3], Short, horizon=3)
 
+    @pytest.mark.parametrize("warmup", [0, 3, 17, 100])
+    def test_vectorised_scoring_matches_reference_loop(self, warmup):
+        """The pre-sized scoring arrays must reproduce the naive protocol."""
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        stream = ([1, 2, 3, 4] * 12)[:40]
+        stream[rng.integers(0, 40)] = 9  # one perturbed sample
+        horizon = 4
+        factory = lambda: PeriodicityPredictor(window_size=8, max_period=8)
+        result = evaluate_stream(stream, factory, horizon=horizon, warmup=warmup)
+
+        # Straight-line reference implementation of the scoring protocol.
+        predictor = factory()
+        hits = [0] * horizon
+        attempts = [0] * horizon
+        predicted = [0] * horizon
+        n = len(stream)
+        for t in range(n):
+            if t >= warmup:
+                predictions = predictor.predict(horizon)
+                for k in range(1, horizon + 1):
+                    target = t + k - 1
+                    if target >= n:
+                        break
+                    attempts[k - 1] += 1
+                    if predictions[k - 1] is None:
+                        continue
+                    predicted[k - 1] += 1
+                    if int(predictions[k - 1]) == stream[target]:
+                        hits[k - 1] += 1
+            predictor.observe(stream[t])
+
+        assert result.hits.tolist() == hits
+        assert result.attempts.tolist() == attempts
+        assert result.predicted.tolist() == predicted
+        assert result.stream_length == n
+
 
 class TestEvaluateUnordered:
     def test_perfect_overlap_on_constant_stream(self):

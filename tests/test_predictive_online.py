@@ -71,3 +71,23 @@ class TestOnlineMessagePredictor:
         complete = PredictedMessage(sender=1, nbytes=10)
         partial = PredictedMessage(sender=1, nbytes=None)
         assert complete.complete and not partial.complete
+
+    def test_observe_batch_matches_sequential(self):
+        pattern = [(1, 100), (2, 200), (3, 300)]
+        sequential = OnlineMessagePredictor(nprocs=2)
+        feed_pattern(sequential, 0, pattern, 20)
+        batched = OnlineMessagePredictor(nprocs=2)
+        pairs = pattern * 20
+        batched.observe_batch(0, [s for s, _ in pairs], [b for _, b in pairs])
+        assert batched.observations == sequential.observations
+        assert batched.predict(0) == sequential.predict(0)
+
+    def test_observe_batch_length_mismatch(self):
+        predictor = OnlineMessagePredictor(nprocs=2)
+        with pytest.raises(ValueError):
+            predictor.observe_batch(0, [1, 2], [10])
+
+    def test_observe_batch_empty(self):
+        predictor = OnlineMessagePredictor(nprocs=2)
+        predictor.observe_batch(0, [], [])
+        assert predictor.observations == 0
