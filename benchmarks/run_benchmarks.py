@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""Run the predictor microbenchmarks non-interactively and write BENCH_dpd.json.
+"""Run the hot-path microbenchmarks non-interactively and write a BENCH artefact.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py [--output BENCH_dpd.json] [--keyword EXPR]
+    python benchmarks/run_benchmarks.py [--output FILE] [--keyword EXPR]
 
 Equivalent to ``python -m repro bench``.  The JSON artefact records the
 per-benchmark mean/stddev so future PRs have a perf trajectory to compare
-against.
+against: the default keyword tracks the predictor (``BENCH_dpd.json``);
+``--keyword sim`` tracks the simulation engine (``BENCH_sim.json``).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 
 from repro.analysis.bench import (  # noqa: E402
     DEFAULT_KEYWORD,
+    default_output_for,
     render_summary,
     run_microbenchmarks,
 )
@@ -35,8 +37,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=str(_REPO_ROOT / "BENCH_dpd.json"),
-        help="where to write the JSON artefact (default: repo root BENCH_dpd.json)",
+        default=None,
+        help="where to write the JSON artefact (default: repo root "
+        "BENCH_dpd.json, or BENCH_sim.json for a sim keyword)",
     )
     parser.add_argument(
         "--keyword",
@@ -44,9 +47,13 @@ def main(argv: list[str] | None = None) -> int:
         help="pytest -k selector for which microbenchmarks run",
     )
     args = parser.parse_args(argv)
+    output = args.output
+    if output is None:
+        output = str(_REPO_ROOT / default_output_for(args.keyword))
+    args.output = output
     summary = run_microbenchmarks(
         bench_dir=pathlib.Path(__file__).resolve().parent,
-        output=args.output,
+        output=output,
         keyword=args.keyword,
     )
     print(render_summary(summary))

@@ -112,9 +112,46 @@ class TestPredictorMicrobenchmarks:
         predictor = benchmark(run)
         assert predictor.current_period == 18
 
+    @pytest.mark.parametrize("window", [16, 64, 256])
+    def test_bench_dpd_window_scaling(self, benchmark, window):
+        """How the per-observation cost scales with the DPD window size."""
+
+        detector = DynamicPeriodicityDetector(window_size=window, max_period=window)
+        stream = itertools.cycle(PATTERN)
+
+        def step():
+            detector.observe(next(stream))
+            return detector.detect()
+
+        benchmark(step)
+
 
 class TestSimulatorMicrobenchmarks:
-    def test_bench_pingpong_round(self, benchmark):
+    """Engine/transport throughput benchmarks (``-k sim`` selects these).
+
+    ``python -m repro bench --keyword sim`` runs exactly this suite and
+    writes the ``BENCH_sim.json`` perf-trajectory artefact, the simulator
+    counterpart of the predictor's ``BENCH_dpd.json``.
+    """
+
+    def test_bench_sim_event_queue_throughput(self, benchmark):
+        """Raw typed-event queue push/pop throughput (no transport)."""
+        from repro.sim.events import EVENT_CALLBACK, EventQueue
+
+        def churn():
+            queue = EventQueue()
+            push = queue.push_typed
+            pop = queue.pop
+            for i in range(2000):
+                push(i * 1e-6, EVENT_CALLBACK, None)
+            drained = 0
+            while pop() is not None:
+                drained += 1
+            return drained
+
+        assert benchmark(churn) == 2000
+
+    def test_bench_sim_pingpong_round(self, benchmark):
         """Simulated events per ping-pong round (engine + transport overhead)."""
 
         def simulate():
@@ -135,7 +172,7 @@ class TestSimulatorMicrobenchmarks:
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.messages_sent == 400
 
-    def test_bench_alltoall_fanin(self, benchmark):
+    def test_bench_sim_alltoall_fanin(self, benchmark):
         """Collective fan-in cost (pairwise alltoall on 16 ranks)."""
 
         def simulate():
@@ -149,6 +186,22 @@ class TestSimulatorMicrobenchmarks:
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.collective_messages == 5 * 16 * 15
 
+    def test_bench_sim_burst_prediction(self, benchmark):
+        """Online policy consuming a whole delivery burst (observe_batch path)."""
+        from repro.predictive.buffer_manager import PredictiveBufferPolicy
+        from repro.sim.machine import MachineConfig
+
+        policy = PredictiveBufferPolicy()
+        policy.bind(MachineConfig(), 8)
+        burst = [(1 + i % 7, 1024 * (1 + i % 3), 0, "p2p") for i in range(64)]
+
+        def run():
+            policy.on_burst_delivered(0, burst, 0.0)
+            return policy.buffers_held(0)
+
+        held = benchmark(run)
+        assert held >= 1
+
     def test_bench_bt9_simulation(self, benchmark):
         """End-to-end simulation throughput of a small BT run."""
 
@@ -158,16 +211,3 @@ class TestSimulatorMicrobenchmarks:
 
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.messages_sent > 0
-
-    @pytest.mark.parametrize("window", [16, 64, 256])
-    def test_bench_dpd_window_scaling(self, benchmark, window):
-        """How the per-observation cost scales with the DPD window size."""
-
-        detector = DynamicPeriodicityDetector(window_size=window, max_period=window)
-        stream = itertools.cycle(PATTERN)
-
-        def step():
-            detector.observe(next(stream))
-            return detector.detect()
-
-        benchmark(step)

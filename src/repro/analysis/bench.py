@@ -1,10 +1,19 @@
 """Non-interactive microbenchmark runner (the repo's perf trajectory).
 
-Runs the pytest-benchmark microbenchmarks of the predictor hot path in a
-subprocess and condenses the per-benchmark statistics into a small JSON
-artefact (``BENCH_dpd.json``) so successive PRs can compare per-observe cost
-without re-reading raw pytest output.  Exposed both as
-``python -m repro bench`` and as ``benchmarks/run_benchmarks.py``.
+Runs the pytest-benchmark microbenchmarks of a hot path in a subprocess and
+condenses the per-benchmark statistics into a small JSON artefact so
+successive PRs can compare costs without re-reading raw pytest output.
+Exposed both as ``python -m repro bench`` and as
+``benchmarks/run_benchmarks.py``.
+
+Two perf trajectories are tracked:
+
+* ``BENCH_dpd.json`` — the predictor/DPD hot path (the default keyword);
+* ``BENCH_sim.json`` — the simulation engine and transport
+  (``python -m repro bench --keyword sim``).
+
+When no explicit ``--output`` is given, the artefact name is derived from
+the keyword (any keyword mentioning ``sim`` writes ``BENCH_sim.json``).
 """
 
 from __future__ import annotations
@@ -15,7 +24,13 @@ import subprocess
 import sys
 import tempfile
 
-__all__ = ["default_benchmarks_dir", "run_microbenchmarks", "render_summary"]
+__all__ = [
+    "default_benchmarks_dir",
+    "default_output_for",
+    "carry_baseline",
+    "run_microbenchmarks",
+    "render_summary",
+]
 
 #: Benchmark module holding the hot-path microbenchmarks.
 MICROBENCH_MODULE = "test_bench_microbenchmarks.py"
@@ -23,6 +38,15 @@ MICROBENCH_MODULE = "test_bench_microbenchmarks.py"
 #: Default ``-k`` selector: only the predictor/DPD benchmarks, not the
 #: (much slower) whole-paper table and figure regeneration benchmarks.
 DEFAULT_KEYWORD = "dpd or predictor or evaluate_stream"
+
+#: ``-k`` selector for the simulation-engine benchmarks (every benchmark in
+#: the simulator suite has ``sim`` in its name).
+SIM_KEYWORD = "sim"
+
+
+def default_output_for(keyword: str) -> str:
+    """The perf-trajectory artefact a keyword's results belong in."""
+    return "BENCH_sim.json" if "sim" in keyword else "BENCH_dpd.json"
 
 
 def default_benchmarks_dir() -> pathlib.Path | None:
@@ -36,6 +60,19 @@ def default_benchmarks_dir() -> pathlib.Path | None:
         if (candidate / MICROBENCH_MODULE).is_file():
             return candidate
     return None
+
+
+def carry_baseline(summary: dict, previous: dict) -> dict:
+    """Copy a recorded ``baseline`` section from a previous artefact.
+
+    A baseline is a hand-recorded "before" measurement (e.g. the
+    closure-per-event engine's bt9 numbers from before the typed-event
+    refactor); regenerating the artefact must never lose the before/after
+    comparison, so the section is carried forward verbatim.
+    """
+    if "baseline" in previous and "baseline" not in summary:
+        summary["baseline"] = previous["baseline"]
+    return summary
 
 
 def run_microbenchmarks(
@@ -108,6 +145,12 @@ def run_microbenchmarks(
     }
     if output is not None:
         out_path = pathlib.Path(output)
+        if out_path.is_file():
+            try:
+                previous = json.loads(out_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                previous = {}
+            carry_baseline(summary, previous)
         out_path.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
     return summary
 

@@ -14,8 +14,10 @@ Commands
     Regenerate the full measured-vs-paper report (Table 1, Figures 1-4,
     extensions, ablations) — the content of EXPERIMENTS.md.
 ``bench``
-    Run the predictor/DPD microbenchmarks non-interactively and write the
-    ``BENCH_dpd.json`` perf-trajectory artefact.
+    Run the hot-path microbenchmarks non-interactively and write a
+    perf-trajectory artefact: ``BENCH_dpd.json`` for the predictor suite
+    (default) or ``BENCH_sim.json`` for the simulation engine
+    (``--keyword sim``).
 ``list``
     List the available workloads and the paper's 19 configurations.
 """
@@ -80,13 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--skip-ablations", action="store_true")
 
     bench_cmd = sub.add_parser(
-        "bench", help="run the microbenchmarks and write BENCH_dpd.json"
+        "bench",
+        help="run the microbenchmarks and write a BENCH_*.json perf artefact",
     )
     bench_cmd.add_argument(
-        "--output", type=str, default="BENCH_dpd.json", metavar="FILE"
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="artefact path; derived from the keyword when omitted "
+        "(BENCH_dpd.json for the predictor suite, BENCH_sim.json for "
+        "--keyword sim)",
     )
     bench_cmd.add_argument("--bench-dir", type=str, default=None)
-    bench_cmd.add_argument("--keyword", type=str, default=None)
+    bench_cmd.add_argument(
+        "--keyword",
+        type=str,
+        default=None,
+        help="pytest -k selector; e.g. 'sim' runs the simulation-engine suite",
+    )
 
     sub.add_parser("list", help="list workloads and paper configurations")
     return parser
@@ -175,18 +189,24 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.analysis.bench import DEFAULT_KEYWORD, render_summary, run_microbenchmarks
+    from repro.analysis.bench import (
+        DEFAULT_KEYWORD,
+        default_output_for,
+        render_summary,
+        run_microbenchmarks,
+    )
 
     keyword = args.keyword if args.keyword is not None else DEFAULT_KEYWORD
+    output = args.output if args.output is not None else default_output_for(keyword)
     try:
         summary = run_microbenchmarks(
-            bench_dir=args.bench_dir, output=args.output, keyword=keyword
+            bench_dir=args.bench_dir, output=output, keyword=keyword
         )
     except (FileNotFoundError, RuntimeError) as error:
         print(str(error), file=sys.stderr)
         return 2
     print(render_summary(summary))
-    print(f"\nwrote {args.output}", file=sys.stderr)
+    print(f"\nwrote {output}", file=sys.stderr)
     return 0
 
 

@@ -86,6 +86,9 @@ class Communicator:
         self.rank = rank
         self.size = size
         self._collective_seq = 0
+        # (dest, source, tag) triples already validated by sendrecv():
+        # neighbour exchanges repeat a handful of triples thousands of times.
+        self._sendrecv_validated: set[tuple[int, int, int]] = set()
 
     # ------------------------------------------------------------------
     # Point-to-point
@@ -94,48 +97,62 @@ class Communicator:
         """Blocking standard-mode send of ``nbytes`` to ``dest``."""
         check_rank("dest", dest, self.size)
         check_non_negative("nbytes", nbytes)
-        return SendOp(dest=dest, nbytes=int(nbytes), tag=_check_tag(tag), kind=KIND_P2P, payload=payload)
+        return SendOp(dest, int(nbytes), _check_tag(tag), KIND_P2P, payload)
 
     def isend(self, dest: int, nbytes: int, tag: int = 0, payload: object | None = None) -> IsendOp:
         """Non-blocking send; yielding it returns a :class:`Request`."""
         check_rank("dest", dest, self.size)
         check_non_negative("nbytes", nbytes)
-        return IsendOp(dest=dest, nbytes=int(nbytes), tag=_check_tag(tag), kind=KIND_P2P, payload=payload)
+        return IsendOp(dest, int(nbytes), _check_tag(tag), KIND_P2P, payload)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvOp:
         """Blocking receive; yielding it returns a :class:`Status`."""
         if source != ANY_SOURCE:
             check_rank("source", source, self.size)
-        return RecvOp(source=source, tag=_check_tag(tag), kind=KIND_P2P)
+        return RecvOp(source, _check_tag(tag), KIND_P2P)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> IrecvOp:
         """Non-blocking receive; yielding it returns a :class:`Request`."""
         if source != ANY_SOURCE:
             check_rank("source", source, self.size)
-        return IrecvOp(source=source, tag=_check_tag(tag), kind=KIND_P2P)
+        return IrecvOp(source, _check_tag(tag), KIND_P2P)
 
     def wait(self, request: Request) -> WaitOp:
         """Wait for one request."""
-        return WaitOp(request=request)
+        return WaitOp(request)
 
     def waitall(self, requests: Sequence[Request]) -> WaitallOp:
         """Wait for all requests in ``requests``."""
-        return WaitallOp(requests=list(requests))
+        return WaitallOp(list(requests))
 
     def compute(self, seconds: float) -> ComputeOp:
         """Advance the local clock by ``seconds`` of computation."""
         check_non_negative("seconds", seconds)
-        return ComputeOp(seconds=float(seconds))
+        return ComputeOp(float(seconds))
 
     def sendrecv(
         self, dest: int, nbytes: int, source: int, tag: int = 0
     ) -> Generator[Operation, object, None]:
-        """Deadlock-free combined send/receive (use with ``yield from``)."""
-        check_rank("dest", dest, self.size)
-        if source != ANY_SOURCE:
-            check_rank("source", source, self.size)
-        check_non_negative("nbytes", nbytes)
-        yield from _coll.sendrecv(dest, int(nbytes), source, _check_tag(tag), kind=KIND_P2P)
+        """Deadlock-free combined send/receive (use with ``yield from``).
+
+        The receive is posted before the send so that two ranks exchanging
+        rendezvous-sized messages never deadlock.  The body is inlined (rather
+        than delegating to :func:`repro.mpi.collectives.sendrecv`) because
+        neighbour exchanges are the hottest program pattern and an extra
+        ``yield from`` level costs on every resumption.
+        """
+        key = (dest, source, tag)
+        if key not in self._sendrecv_validated:
+            check_rank("dest", dest, self.size)
+            if source != ANY_SOURCE:
+                check_rank("source", source, self.size)
+            _check_tag(tag)
+            self._sendrecv_validated.add(key)
+        if nbytes < 0:
+            check_non_negative("nbytes", nbytes)
+        recv_req = yield IrecvOp(source, tag, KIND_P2P)
+        send_req = yield IsendOp(dest, int(nbytes), tag, KIND_P2P)
+        yield WaitallOp([recv_req, send_req])
 
     # ------------------------------------------------------------------
     # Collectives (use with ``yield from``)

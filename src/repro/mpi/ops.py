@@ -47,7 +47,7 @@ class Operation:
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class SendOp(Operation):
     """Blocking standard-mode send (``MPI_Send``)."""
 
@@ -58,7 +58,7 @@ class SendOp(Operation):
     payload: object | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class IsendOp(Operation):
     """Non-blocking send (``MPI_Isend``); resumes with a :class:`Request`."""
 
@@ -69,7 +69,7 @@ class IsendOp(Operation):
     payload: object | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvOp(Operation):
     """Blocking receive (``MPI_Recv``); resumes with a :class:`Status`."""
 
@@ -78,7 +78,7 @@ class RecvOp(Operation):
     kind: str = KIND_P2P
 
 
-@dataclass
+@dataclass(slots=True)
 class IrecvOp(Operation):
     """Non-blocking receive (``MPI_Irecv``); resumes with a :class:`Request`."""
 
@@ -87,21 +87,21 @@ class IrecvOp(Operation):
     kind: str = KIND_P2P
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitOp(Operation):
     """Wait for one request to complete (``MPI_Wait``)."""
 
     request: Request
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitallOp(Operation):
     """Wait for all requests to complete (``MPI_Waitall``)."""
 
     requests: Sequence[Request] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ComputeOp(Operation):
     """Advance the rank's local clock by ``seconds`` of computation."""
 

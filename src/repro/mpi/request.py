@@ -10,17 +10,18 @@ data transfer done, ...).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 __all__ = ["Status", "Request"]
 
 _request_ids = itertools.count()
 
 
-@dataclass(frozen=True)
-class Status:
+class Status(NamedTuple):
     """Result of a completed receive (a subset of ``MPI_Status``).
+
+    A named tuple rather than a dataclass: one is built per completed
+    receive, and tuple construction is allocation-cheap on that hot path.
 
     Attributes
     ----------
@@ -84,7 +85,8 @@ class Request:
         self.cancelled = False
         self.completion_time = float("nan")
         self.status: Status | None = None
-        self._callbacks: list[Callable[["Request"], None]] = []
+        # Lazily allocated: most requests complete before anyone waits on them.
+        self._callbacks: list[Callable[["Request"], None]] | None = None
 
     def add_callback(self, callback: Callable[["Request"], None]) -> None:
         """Register ``callback(request)`` to run at completion.
@@ -93,6 +95,8 @@ class Request:
         """
         if self.completed:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -103,9 +107,10 @@ class Request:
         self.completed = True
         self.completion_time = float(time)
         self.status = status
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.completed else "pending"

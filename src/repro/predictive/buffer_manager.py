@@ -93,15 +93,40 @@ class PredictiveBufferPolicy(FlowControlPolicy):
     def on_message_delivered(
         self, dst: int, src: int, nbytes: int, tag: int, kind: str, now: float
     ) -> None:
-        predictor = self.predictor
-        predictor.observe(dst, src, nbytes)
+        self.predictor.observe(dst, src, nbytes)
+        self._note_senders(dst, (src,))
+        self._refresh_buffers(dst)
+
+    def on_burst_delivered(
+        self, dst: int, messages: list[tuple[int, int, int, str]], now: float
+    ) -> None:
+        """Learn a whole delivery burst, refreshing the buffer set once.
+
+        The sender/size streams go through the predictor's amortised
+        ``observe_batch`` path; the predicted-sender set is recomputed once
+        from the post-burst predictor state (the intermediate sets a
+        per-message replay would compute are unobservable inside a burst —
+        no eager-send decision can interleave with it).
+        """
+        self.predictor.observe_batch(
+            dst, [m[0] for m in messages], [m[1] for m in messages]
+        )
+        self._note_senders(dst, (m[0] for m in messages))
+        self._refresh_buffers(dst)
+
+    def _note_senders(self, dst: int, senders) -> None:
+        """Move ``senders`` (in delivery order) to the front of the LRU list."""
         recent = self._recent[dst]
-        if src in recent:
-            recent.remove(src)
-        recent.append(src)
+        for src in senders:
+            if src in recent:
+                recent.remove(src)
+            recent.append(src)
         del recent[: max(0, len(recent) - self.extra_recent)]
-        predicted = predictor.predicted_senders(dst, self.horizon)
-        self._buffered[dst] = predicted | set(recent)
+
+    def _refresh_buffers(self, dst: int) -> None:
+        """Recompute the buffered-sender set from the current predictions."""
+        predicted = self.predictor.predicted_senders(dst, self.horizon)
+        self._buffered[dst] = predicted | set(self._recent[dst])
         self._peak_buffers[dst] = max(self._peak_buffers[dst], len(self._buffered[dst]))
 
     # ------------------------------------------------------------------

@@ -100,9 +100,32 @@ class PredictiveCreditPolicy(FlowControlPolicy):
     def on_message_delivered(
         self, dst: int, src: int, nbytes: int, tag: int, kind: str, now: float
     ) -> None:
-        predictor = self.predictor
-        predictor.observe(dst, src, nbytes)
-        for predicted in predictor.predict(dst, self.horizon):
+        self.predictor.observe(dst, src, nbytes)
+        self._grant_from_predictions(dst)
+
+    def on_burst_delivered(
+        self, dst: int, messages: list[tuple[int, int, int, str]], now: float
+    ) -> None:
+        """Replay a delivery burst message by message.
+
+        Credit grants are *cumulative* (each one adds to the account, capped
+        at ``credit_cap_bytes``) and each grant is sized by the predictions
+        at that point in the stream, so collapsing a burst into one
+        post-burst grant would leave a different balance than per-message
+        delivery — and whether same-timestamp deliveries coalesce would then
+        change later eager decisions.  This hook therefore interleaves
+        observe and grant exactly like :meth:`on_message_delivered`; the
+        predictor's batch-observe path cannot be used for this policy.
+        """
+        observe = self.predictor.observe
+        grant = self._grant_from_predictions
+        for src, nbytes, _tag, _kind in messages:
+            observe(dst, src, nbytes)
+            grant(dst)
+
+    def _grant_from_predictions(self, dst: int) -> None:
+        """Grant credits to the senders currently predicted at ``dst``."""
+        for predicted in self.predictor.predict(dst, self.horizon):
             if predicted.sender is None:
                 continue
             grant = predicted.nbytes if predicted.nbytes is not None else self.machine.eager_threshold

@@ -81,6 +81,14 @@ class PredictiveRendezvousPolicy(FlowControlPolicy):
     ) -> None:
         self.predictor.observe(dst, src, nbytes)
 
+    def on_burst_delivered(
+        self, dst: int, messages: list[tuple[int, int, int, str]], now: float
+    ) -> None:
+        """Feed a whole delivery burst through the predictor's batch path."""
+        self.predictor.observe_batch(
+            dst, [m[0] for m in messages], [m[1] for m in messages]
+        )
+
     # ------------------------------------------------------------------
     def bypass_summary(self) -> dict:
         """Counters for the Section 2.3 experiment."""

@@ -22,7 +22,7 @@ from repro.runtime.message import Message
 __all__ = ["PostedReceive", "PostedReceiveQueue", "UnexpectedQueue"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PostedReceive:
     """A receive that has been posted but not yet matched."""
 
@@ -41,7 +41,7 @@ class PostedReceive:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class UnexpectedEntry:
     """A message (or rendezvous announcement) that arrived before its receive."""
 
@@ -57,7 +57,7 @@ class UnexpectedEntry:
     storage: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PostedReceiveQueue:
     """Posted receives of one rank, in posting order."""
 
@@ -72,13 +72,22 @@ class PostedReceiveQueue:
 
     def match(self, msg: Message) -> Optional[PostedReceive]:
         """Pop and return the earliest posted receive matching ``msg``."""
-        for index, entry in enumerate(self.entries):
-            if entry.accepts(msg):
-                return self.entries.pop(index)
+        src = msg.src
+        tag = msg.tag
+        entries = self.entries
+        # accepts() inlined: this loop runs once per delivered message.
+        for index, entry in enumerate(entries):
+            esrc = entry.source
+            if esrc != ANY_SOURCE and esrc != src:
+                continue
+            etag = entry.tag
+            if etag != ANY_TAG and etag != tag:
+                continue
+            return entries.pop(index)
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class UnexpectedQueue:
     """Unexpected (early) messages of one rank, in arrival order."""
 
@@ -93,9 +102,17 @@ class UnexpectedQueue:
 
     def match(self, posted: PostedReceive) -> Optional[UnexpectedEntry]:
         """Pop and return the earliest unexpected entry the receive accepts."""
-        for index, entry in enumerate(self.entries):
-            if posted.accepts(entry.message):
-                return self.entries.pop(index)
+        src = posted.source
+        tag = posted.tag
+        entries = self.entries
+        # accepts() inlined: this loop runs once per posted receive.
+        for index, entry in enumerate(entries):
+            message = entry.message
+            if src != ANY_SOURCE and src != message.src:
+                continue
+            if tag != ANY_TAG and tag != message.tag:
+                continue
+            return entries.pop(index)
         return None
 
     def pending_bytes(self) -> int:

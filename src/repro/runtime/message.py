@@ -12,7 +12,7 @@ __all__ = ["Message"]
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One application-level message in flight.
 

@@ -57,6 +57,28 @@ class FlowControlPolicy:
     ) -> None:
         """A message was delivered to ``dst``; predictive policies learn here."""
 
+    def on_burst_delivered(
+        self, dst: int, messages: list[tuple[int, int, int, str]], now: float
+    ) -> None:
+        """A same-timestamp burst of messages was delivered to ``dst``.
+
+        ``messages`` holds ``(src, nbytes, tag, kind)`` tuples in delivery
+        order.  The default simply replays :meth:`on_message_delivered` per
+        message, so policies that only know the per-message hook keep their
+        exact semantics; predictive policies override this to push the whole
+        burst through their predictors' amortised batch-observe path.
+
+        The transport routes *single* deliveries — the overwhelmingly common
+        case on a jittered network — directly to
+        :meth:`on_message_delivered`; this hook only sees bursts of two or
+        more.  A policy overriding this method must therefore also override
+        :meth:`on_message_delivered` (or it will silently miss most
+        deliveries), and the two must agree: a burst must leave the policy
+        in exactly the state a per-message replay would.
+        """
+        for src, nbytes, tag, kind in messages:
+            self.on_message_delivered(dst, src, nbytes, tag, kind, now)
+
 
 class StandardFlowControl(FlowControlPolicy):
     """The classic MPI policy: eager for small messages, rendezvous for large.

@@ -20,6 +20,17 @@ Timing model
   to heap) and copied out when the matching receive is finally posted.
 * Messages between the same (source, destination) pair are delivered in FIFO
   order, as MPI requires.
+
+Burst delivery
+--------------
+Payload arrivals are scheduled as typed delivery events; the engine drains
+same-timestamp event cohorts and hands every run of consecutive deliveries
+bound for one receiver to :meth:`Transport.deliver_burst` in a single call.
+Matching, statistics and tracing stay per-message (in exact event order), but
+the flow-control policy is notified once per burst through
+:meth:`repro.runtime.protocol.FlowControlPolicy.on_burst_delivered`, which
+lets the predictive policies feed whole bursts into their online predictors'
+amortised batch path instead of paying the per-message ``observe`` cost.
 """
 
 from __future__ import annotations
@@ -110,11 +121,34 @@ class Transport:
         self.machine = machine
         self.network = network
         self.tracer = tracer
+        # Machine parameters copied to locals: read once or twice per message.
+        self._send_overhead = machine.send_overhead
+        self._recv_overhead = machine.recv_overhead
+        self._eager_threshold = machine.eager_threshold
+        self._control_bytes = machine.control_message_bytes
+        self._handshake_cpu = machine.rendezvous_handshake_cpu
+        self._copy_bandwidth = machine.unexpected_copy_bandwidth
         self.policy = policy or StandardFlowControl()
         self.policy.bind(machine, nprocs)
+        # Skip the per-message notification calls entirely for policies that
+        # keep the base no-op hooks (the standard/baseline policies): a bound
+        # no-op method call per message is measurable on the delivery path.
+        policy_type = type(self.policy)
+        self._policy_observes_delivery = (
+            policy_type.on_message_delivered is not FlowControlPolicy.on_message_delivered
+            or policy_type.on_burst_delivered is not FlowControlPolicy.on_burst_delivered
+        )
+        self._policy_observes_recv = (
+            policy_type.on_recv_posted is not FlowControlPolicy.on_recv_posted
+        )
+        # Bound tracer hooks (None when tracing is off): called per message.
+        self._tracer_recv_posted = tracer.on_recv_posted if tracer else None
+        self._tracer_recv_matched = tracer.on_recv_matched if tracer else None
+        self._tracer_arrival = tracer.on_message_arrival if tracer else None
         self.stats = stats or RuntimeStats(nprocs=nprocs)
         self.stats.nprocs = nprocs
         self._engine = None
+        self._schedule_delivery = None
         self._channel_last_arrival: dict[tuple[int, int], float] = {}
         self._endpoints: list[_Endpoint] = []
         for rank in range(nprocs):
@@ -129,13 +163,26 @@ class Transport:
     # Wiring
     # ------------------------------------------------------------------
     def attach(self, engine) -> None:
-        """Attach the simulation engine (must expose ``schedule_at(time, fn)``)."""
+        """Attach the simulation engine (must expose ``schedule_at(time, fn)``).
+
+        Engines that also expose ``schedule_delivery(time, message, posted)``
+        get typed, burst-coalescable delivery events; anything else falls back
+        to plain callbacks delivering one message at a time.
+        """
         self._engine = engine
+        self._schedule_delivery = getattr(engine, "schedule_delivery", None)
 
     def _schedule(self, time: float, callback) -> None:
         if self._engine is None:
             raise RuntimeError("transport is not attached to a simulation engine")
         self._engine.schedule_at(time, callback)
+
+    def _schedule_data(self, time: float, message: Message, posted: Optional[PostedReceive]) -> None:
+        """Schedule the physical arrival of ``message`` at ``time``."""
+        if self._schedule_delivery is not None:
+            self._schedule_delivery(time, message, posted)
+        else:
+            self._schedule(time, lambda: self.deliver_burst([(message, posted)], time))
 
     def endpoint(self, rank: int) -> _Endpoint:
         """Return the endpoint of ``rank`` (mainly for tests and stats)."""
@@ -160,35 +207,35 @@ class Transport:
             raise ValueError(f"message size must be non-negative, got {nbytes}")
 
         request = Request("send", rank)
-        size_says_eager = nbytes <= self.machine.eager_threshold
+        size_says_eager = nbytes <= self._eager_threshold
         policy_allows = self.policy.allows_eager(rank, dst, nbytes, op.kind, now)
         use_eager = policy_allows
         forced_rendezvous = size_says_eager and not policy_allows
         eager_bypass = (not size_says_eager) and policy_allows
 
-        message = Message(
-            src=rank,
-            dst=dst,
-            tag=op.tag,
-            nbytes=nbytes,
-            kind=op.kind,
-            protocol="eager" if use_eager else "rendezvous",
-            payload=op.payload,
-        )
-        self.stats.record_send(nbytes, op.kind, message.protocol, forced_rendezvous, eager_bypass)
+        kind = op.kind
+        protocol = "eager" if use_eager else "rendezvous"
+        # Positional construction: this runs once per message.
+        message = Message(rank, dst, op.tag, nbytes, kind, protocol)
+        message.payload = op.payload
+        self.stats.record_send(nbytes, kind, protocol, forced_rendezvous, eager_bypass)
 
-        inject = now + self.machine.send_overhead
+        inject = now + self._send_overhead
         message.inject_time = inject
         if use_eager:
             arrival = self._data_arrival(rank, dst, nbytes, inject)
             message.arrival_time = arrival
-            self._schedule(arrival, lambda: self._deliver_data(message, arrival, posted=None))
+            schedule_delivery = self._schedule_delivery
+            if schedule_delivery is not None:
+                schedule_delivery(arrival, message, None)
+            else:
+                self._schedule_data(arrival, message, None)
             request._complete(inject)
         else:
             state = _Rendezvous(message=message, send_request=request)
             self.stats.record_control_message()
             rts_arrival = self.network.arrival_time(
-                rank, dst, self.machine.control_message_bytes, inject
+                rank, dst, self._control_bytes, inject
             )
             self._schedule(rts_arrival, lambda: self._handle_rts(state, rts_arrival))
         return request
@@ -199,20 +246,19 @@ class Transport:
     def post_recv(self, rank: int, op: RecvOp | IrecvOp, now: float) -> Request:
         """Execute a receive posted by ``rank`` at local time ``now``."""
         request = Request("recv", rank)
-        if self.tracer is not None:
-            self.tracer.on_recv_posted(rank, request.req_id, now)
-        self.policy.on_recv_posted(rank, op.source, op.tag, op.kind, now)
+        if self._tracer_recv_posted is not None:
+            self._tracer_recv_posted(rank, request.req_id, now)
+        if self._policy_observes_recv:
+            self.policy.on_recv_posted(rank, op.source, op.tag, op.kind, now)
 
-        posted = PostedReceive(
-            request=request, source=op.source, tag=op.tag, kind=op.kind, post_time=now
-        )
+        posted = PostedReceive(request, op.source, op.tag, op.kind, now)
         endpoint = self._endpoints[rank]
         entry = endpoint.unexpected.match(posted)
         if entry is None:
             endpoint.posted.post(posted)
         elif entry.is_rendezvous_announcement:
             state: _Rendezvous = entry.rendezvous_token  # type: ignore[assignment]
-            self._send_cts(state, posted, now + self.machine.rendezvous_handshake_cpu)
+            self._send_cts(state, posted, now + self._handshake_cpu)
         else:
             self._complete_from_unexpected(posted, entry, now)
         return request
@@ -236,7 +282,7 @@ class Transport:
         endpoint = self._endpoints[message.dst]
         posted = endpoint.posted.match(message)
         if posted is not None:
-            self._send_cts(state, posted, arrival + self.machine.rendezvous_handshake_cpu)
+            self._send_cts(state, posted, arrival + self._handshake_cpu)
         else:
             endpoint.unexpected.add(
                 UnexpectedEntry(
@@ -253,57 +299,81 @@ class Transport:
         self.stats.record_control_message()
         message = state.message
         cts_arrival = self.network.arrival_time(
-            message.dst, message.src, self.machine.control_message_bytes, time
+            message.dst, message.src, self._control_bytes, time
         )
         self._schedule(cts_arrival, lambda: self._handle_cts(state, cts_arrival))
 
     def _handle_cts(self, state: _Rendezvous, arrival: float) -> None:
         """CTS arrived back at the sender: push the payload."""
         message = state.message
-        data_inject = arrival + self.machine.rendezvous_handshake_cpu
+        data_inject = arrival + self._handshake_cpu
         data_arrival = self._data_arrival(message.src, message.dst, message.nbytes, data_inject)
         message.arrival_time = data_arrival
         send_done = data_inject + self.network.serialization_time(message.nbytes)
         state.send_request._complete(send_done)
-        self._schedule(
-            data_arrival, lambda: self._deliver_data(message, data_arrival, posted=state.posted)
-        )
+        self._schedule_data(data_arrival, message, state.posted)
 
     def _deliver_data(
         self, message: Message, arrival: float, posted: Optional[PostedReceive]
     ) -> None:
-        """A payload physically arrived at its destination rank."""
-        dst = message.dst
-        if self.tracer is not None:
-            self.tracer.on_message_arrival(
-                dst, message.src, message.nbytes, message.tag, message.kind, arrival
-            )
-        self.policy.on_message_delivered(
-            dst, message.src, message.nbytes, message.tag, message.kind, arrival
-        )
+        """Single-message delivery (compatibility shim over the burst path)."""
+        self.deliver_burst([(message, posted)], arrival)
 
-        if posted is not None:
-            # Rendezvous payload: the receive was matched during the handshake.
-            self.stats.record_delivery(expected=True)
-            self._complete_receive(posted, message, arrival, copy_penalty=0.0)
-            return
+    def deliver_burst(
+        self, burst: list[tuple[Message, Optional[PostedReceive]]], arrival: float
+    ) -> None:
+        """Payloads physically arrived at one destination rank at one time.
+
+        ``burst`` holds ``(message, posted_receive_or_None)`` pairs in exact
+        event order; a non-None posted receive means the message is a
+        rendezvous payload matched during the handshake.  Matching, delivery
+        statistics and trace records are processed per message (preserving
+        the one-event-at-a-time semantics bit for bit); the flow-control
+        policy is notified once for the whole burst.
+        """
+        dst = burst[0][0].dst
+        tracer_arrival = self._tracer_arrival
+        if tracer_arrival is not None:
+            for message, _ in burst:
+                tracer_arrival(
+                    dst, message.src, message.nbytes, message.tag, message.kind, arrival
+                )
+        if self._policy_observes_delivery:
+            if len(burst) == 1:
+                message = burst[0][0]
+                self.policy.on_message_delivered(
+                    dst, message.src, message.nbytes, message.tag, message.kind, arrival
+                )
+            else:
+                self.policy.on_burst_delivered(
+                    dst,
+                    [(m.src, m.nbytes, m.tag, m.kind) for m, _ in burst],
+                    arrival,
+                )
 
         endpoint = self._endpoints[dst]
-        match = endpoint.posted.match(message)
-        if match is not None:
-            self.stats.record_delivery(expected=True)
-            self._complete_receive(match, message, arrival, copy_penalty=0.0)
-        else:
-            storage = endpoint.buffers.store_unexpected(message.src, message.nbytes)
-            self.stats.record_delivery(expected=False, storage=storage)
-            endpoint.unexpected.add(
-                UnexpectedEntry(
-                    message=message,
-                    arrival_time=arrival,
-                    is_rendezvous_announcement=False,
-                    storage=storage,
+        stats = self.stats
+        for message, posted in burst:
+            if posted is not None:
+                # Rendezvous payload: the receive was matched during the handshake.
+                stats.record_delivery(expected=True)
+                self._complete_receive(posted, message, arrival, copy_penalty=0.0)
+                continue
+            match = endpoint.posted.match(message)
+            if match is not None:
+                stats.record_delivery(expected=True)
+                self._complete_receive(match, message, arrival, copy_penalty=0.0)
+            else:
+                storage = endpoint.buffers.store_unexpected(message.src, message.nbytes)
+                stats.record_delivery(expected=False, storage=storage)
+                endpoint.unexpected.add(
+                    UnexpectedEntry(
+                        message=message,
+                        arrival_time=arrival,
+                        is_rendezvous_announcement=False,
+                        storage=storage,
+                    )
                 )
-            )
 
     def _complete_from_unexpected(
         self, posted: PostedReceive, entry: UnexpectedEntry, now: float
@@ -312,24 +382,25 @@ class Transport:
         message = entry.message
         endpoint = self._endpoints[posted.request.rank]
         endpoint.buffers.release_unexpected(message.src, message.nbytes, entry.storage or "heap")
-        copy_penalty = message.nbytes / self.machine.unexpected_copy_bandwidth
+        copy_penalty = message.nbytes / self._copy_bandwidth
         self._complete_receive(posted, message, max(now, entry.arrival_time), copy_penalty)
 
     def _complete_receive(
         self, posted: PostedReceive, message: Message, ready_time: float, copy_penalty: float
     ) -> None:
         """Finish a receive: build the status, trace it, fire the request."""
-        complete_time = ready_time + self.machine.recv_overhead + copy_penalty
+        complete_time = ready_time + self._recv_overhead + copy_penalty
+        arrival_time = message.arrival_time
         status = Status(
-            source=message.src,
-            tag=message.tag,
-            nbytes=message.nbytes,
-            kind=message.kind,
-            arrival_time=message.arrival_time if message.arrival_time == message.arrival_time else ready_time,
+            message.src,
+            message.tag,
+            message.nbytes,
+            message.kind,
+            arrival_time if arrival_time == arrival_time else ready_time,
         )
         rank = posted.request.rank
-        if self.tracer is not None:
-            self.tracer.on_recv_matched(
+        if self._tracer_recv_matched is not None:
+            self._tracer_recv_matched(
                 rank,
                 posted.request.req_id,
                 message.src,

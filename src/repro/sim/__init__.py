@@ -3,7 +3,8 @@
 This package provides the machinery that stands in for the paper's real
 IBM RS/6000 + MPICH testbed:
 
-* :mod:`repro.sim.events` — a deterministic event queue and virtual clock.
+* :mod:`repro.sim.events` — a deterministic typed event queue (batch-draining
+  heap with a zero-delay fast lane) and virtual clock.
 * :mod:`repro.sim.network` — a latency/bandwidth/jitter network model (the
   source of the "random effects" that perturb the physical message stream).
 * :mod:`repro.sim.machine` — per-node cost parameters (send/receive overheads,
@@ -14,12 +15,14 @@ IBM RS/6000 + MPICH testbed:
 
 from repro.sim.engine import RankState, SimulationResult, Simulator
 from repro.sim.errors import ConfigurationError, DeadlockError, SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EVENT_CALLBACK, EVENT_DELIVER, EVENT_STEP, EventQueue
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkConfig, NetworkModel
 
 __all__ = [
-    "Event",
+    "EVENT_CALLBACK",
+    "EVENT_DELIVER",
+    "EVENT_STEP",
     "EventQueue",
     "NetworkConfig",
     "NetworkModel",

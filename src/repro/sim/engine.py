@@ -14,12 +14,38 @@ be waited on later.  If the event queue drains while some ranks are still
 blocked, the simulation is deadlocked and :class:`repro.sim.errors.DeadlockError`
 is raised, listing the stuck ranks — the same failure a real MPI job would
 hang on.
+
+Batched event architecture
+--------------------------
+The engine is the end-to-end bottleneck once the predictor hot path is
+amortised (see ROADMAP "Perf trajectory"), so its dispatch pipeline avoids
+per-event allocation entirely:
+
+* The event queue (:mod:`repro.sim.events`) holds flat *typed records*
+  instead of closures.  Rank resumptions are ``EVENT_STEP`` records and
+  payload arrivals are ``EVENT_DELIVER`` records; only rare control traffic
+  (rendezvous RTS/CTS) uses the generic callback lane.
+* Operations yielded by programs are dispatched through a per-op-type
+  *handler table* (``type(op) -> bound handler``) instead of an
+  ``isinstance`` chain.
+* The run loop drains whole *timestamp cohorts* (streaming through an
+  inlined equivalent of :meth:`repro.sim.events.EventQueue.pop_batch`) and
+  coalesces consecutive deliveries bound for one receiver into a single
+  :meth:`repro.runtime.transport.Transport.deliver_burst` call, which feeds
+  the online predictive policies whole bursts
+  (:meth:`repro.runtime.protocol.FlowControlPolicy.on_burst_delivered`).
+
+Determinism is unchanged: every event still executes in exact global
+``(time, seq)`` order, so simulation outputs are bit-identical to the
+closure-per-event engine.
 """
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from enum import Enum
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Callable, Generator, Sequence
 
 from repro.mpi.communicator import Communicator, RankContext
@@ -37,7 +63,18 @@ from repro.mpi.request import Request
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.transport import Transport
 from repro.sim.errors import DeadlockError, ProgramError, SimulationError
-from repro.sim.events import EventQueue
+from repro.sim.events import (
+    EV_A,
+    EV_B,
+    EV_CANCELLED,
+    EV_KIND,
+    EV_POPPED,
+    EV_TIME,
+    EVENT_CALLBACK,
+    EVENT_DELIVER,
+    EVENT_STEP,
+    EventQueue,
+)
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkConfig, NetworkModel
 from repro.trace.tracer import TwoLevelTracer
@@ -58,7 +95,15 @@ class RankStatus(Enum):
     FAILED = "failed"
 
 
-@dataclass
+#: Module-level aliases: enum member lookup is an attribute access on every
+#: step, and the engine touches these on the hottest path.
+_READY = RankStatus.READY
+_BLOCKED = RankStatus.BLOCKED
+_DONE = RankStatus.DONE
+_FAILED = RankStatus.FAILED
+
+
+@dataclass(slots=True)
 class RankState:
     """Book-keeping for one simulated rank."""
 
@@ -68,6 +113,8 @@ class RankState:
     status: RankStatus = RankStatus.READY
     steps: int = 0
     blocked_on: str = ""
+    #: Cached ``generator.send`` bound method (set by :meth:`Simulator.run`).
+    resume_fn: Callable | None = None
 
 
 @dataclass
@@ -87,6 +134,18 @@ class SimulationResult:
         if self.tracer is None:
             raise SimulationError("simulation was run without a tracer")
         return self.tracer.trace_for(rank)
+
+
+def _result_none(requests: list[Request]) -> None:
+    return None
+
+
+def _result_first_status(requests: list[Request]):
+    return requests[0].status
+
+
+def _result_all_statuses(requests: list[Request]) -> list:
+    return [r.status for r in requests]
 
 
 class Simulator:
@@ -112,6 +171,12 @@ class Simulator:
     max_events:
         Safety limit on processed events; exceeding it raises
         :class:`SimulationError` (guards against runaway programs).
+
+    A ``Simulator`` instance is **single-use**: :meth:`run` consumes the
+    event queue, transport matching state and jitter RNG streams, so a second
+    call raises :class:`SimulationError` instead of silently reusing stale
+    state.  Build a fresh instance (or use
+    :func:`repro.workloads.runner.run_workload`) per simulation.
     """
 
     def __init__(
@@ -149,16 +214,41 @@ class Simulator:
         )
         self.transport.attach(self)
         self._queue = EventQueue()
+        self._push_typed = self._queue.push_typed
         self._ranks: list[RankState] = []
         self.time = 0.0
         self._done_count = 0
+        self._started = False
+        self._op_table = {
+            ComputeOp: self._op_compute,
+            SendOp: self._op_send,
+            IsendOp: self._op_isend,
+            RecvOp: self._op_recv,
+            IrecvOp: self._op_irecv,
+            WaitOp: self._op_wait,
+            WaitallOp: self._op_waitall,
+        }
 
     # ------------------------------------------------------------------
     # Scheduling interface (also used by the transport)
     # ------------------------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        self._queue.push(max(time, self.time), callback)
+        self._push_typed(
+            time if time > self.time else self.time, EVENT_CALLBACK, callback
+        )
+
+    def schedule_step(self, time: float, state: RankState, value: object) -> None:
+        """Schedule the resumption of ``state``'s generator with ``value``."""
+        self._push_typed(
+            time if time > self.time else self.time, EVENT_STEP, state, value
+        )
+
+    def schedule_delivery(self, time: float, message, posted) -> None:
+        """Schedule the physical arrival of ``message`` at its destination."""
+        self._push_typed(
+            time if time > self.time else self.time, EVENT_DELIVER, message, posted
+        )
 
     # ------------------------------------------------------------------
     # Running programs
@@ -170,12 +260,22 @@ class Simulator:
         SPMD style of all the paper's benchmarks) or exactly ``nprocs``
         factories.
         """
+        if self._started:
+            raise SimulationError(
+                "Simulator instances are single-use: run() was already called "
+                "and the event queue, transport and RNG state have been "
+                "consumed; create a fresh Simulator (or use "
+                "repro.workloads.runner.run_workload) for another simulation"
+            )
         if len(programs) == 1:
             programs = list(programs) * self.nprocs
         if len(programs) != self.nprocs:
             raise ValueError(
                 f"expected 1 or {self.nprocs} program factories, got {len(programs)}"
             )
+        # Mark consumed only after argument validation: a bad ``programs``
+        # list must not brick the instance with a misleading single-use error.
+        self._started = True
 
         self._ranks = []
         for rank, factory in enumerate(programs):
@@ -190,13 +290,24 @@ class Simulator:
                 raise ProgramError(
                     f"program factory for rank {rank} did not return a generator"
                 )
-            self._ranks.append(RankState(rank=rank, generator=generator))
+            state = RankState(rank=rank, generator=generator)
+            state.resume_fn = generator.send
+            self._ranks.append(state)
 
         self._done_count = 0
         for state in self._ranks:
-            self.schedule_at(0.0, lambda s=state: self._step(s, None))
+            self.schedule_step(0.0, state, None)
 
-        self._run_loop()
+        # The run allocates ~15 short-lived objects per simulated message and
+        # creates no reference cycles of its own; pausing the cyclic collector
+        # avoids hundreds of pointless young-generation scans.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            self._run_loop()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         if self._done_count != self.nprocs:
             blocked = [s.rank for s in self._ranks if s.status is RankStatus.BLOCKED]
@@ -216,17 +327,96 @@ class Simulator:
         )
 
     def _run_loop(self) -> None:
+        """Drain the event queue in ``(time, seq)`` order until empty.
+
+        The loop streams through each timestamp cohort record by record,
+        coalescing every run of consecutive deliveries bound for one receiver
+        into a single :meth:`Transport.deliver_burst` call — equivalent to
+        draining :meth:`EventQueue.pop_batch` cohorts, but without
+        materialising a batch list for the (overwhelmingly common)
+        single-event cohort.
+
+        The pop/peek logic of :meth:`EventQueue.pop` /
+        :meth:`EventQueue.peek_record` is inlined here (mirroring those
+        methods exactly, counters included): this loop runs once per simulated
+        event and the method-call overhead alone is measurable.
+        """
+        queue = self._queue
+        heap = queue._heap
+        fast = queue._fast
+        heappop = _heappop
+        deliver_burst = self.transport.deliver_burst
+        max_events = self.max_events
+        step = self._step
+        current = self.time
         while True:
-            event = self._queue.pop()
-            if event is None:
+            # -- inline EventQueue.pop ---------------------------------
+            if fast:
+                if heap and heap[0] < fast[0]:
+                    record = heappop(heap)
+                else:
+                    record = fast.popleft()
+            elif heap:
+                record = heappop(heap)
+            else:
                 return
-            if event.time < self.time - 1e-9:
+            if record[EV_CANCELLED]:
+                continue
+            record[EV_POPPED] = True
+            queue._live -= 1
+            queue._popped += 1
+            queue._now = time = record[EV_TIME]
+            # ----------------------------------------------------------
+            if time > current:
+                self.time = current = time
+            elif time < current - 1e-9:
                 raise SimulationError(
-                    f"time went backwards: event at {event.time} after {self.time}"
+                    f"time went backwards: event at {time} after {current}"
                 )
-            self.time = max(self.time, event.time)
-            event.callback()
-            if self.max_events is not None and self._queue.events_processed > self.max_events:
+            kind = record[EV_KIND]
+            if kind == EVENT_STEP:
+                step(record[EV_A], record[EV_B])
+            elif kind == EVENT_DELIVER:
+                message = record[EV_A]
+                # -- inline EventQueue.peek_record ---------------------
+                while heap and heap[0][EV_CANCELLED]:
+                    heappop(heap)
+                while fast and fast[0][EV_CANCELLED]:
+                    fast.popleft()
+                if fast and not (heap and heap[0] < fast[0]):
+                    nxt = fast[0]
+                elif heap:
+                    nxt = heap[0]
+                else:
+                    nxt = None
+                # ------------------------------------------------------
+                if (
+                    nxt is not None
+                    and nxt[EV_TIME] == time
+                    and nxt[EV_KIND] == EVENT_DELIVER
+                    and nxt[EV_A].dst == message.dst
+                ):
+                    # Same-timestamp burst at one receiver: collect the whole
+                    # consecutive run before handing it to the transport.
+                    burst = [(message, record[EV_B])]
+                    dst = message.dst
+                    pop = queue.pop
+                    peek = queue.peek_record
+                    while (
+                        nxt is not None
+                        and nxt[EV_TIME] == time
+                        and nxt[EV_KIND] == EVENT_DELIVER
+                        and nxt[EV_A].dst == dst
+                    ):
+                        pop()
+                        burst.append((nxt[EV_A], nxt[EV_B]))
+                        nxt = peek()
+                    deliver_burst(burst, time)
+                else:
+                    deliver_burst(((message, record[EV_B]),), time)
+            else:
+                record[EV_A]()
+            if max_events is not None and queue._popped > max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; "
                     "the workload is larger than expected or the simulation is livelocked"
@@ -236,59 +426,118 @@ class Simulator:
     # Rank stepping
     # ------------------------------------------------------------------
     def _step(self, state: RankState, value: object) -> None:
-        """Resume one rank's generator with ``value`` and dispatch its next op."""
-        if state.status is RankStatus.DONE:
+        """Resume one rank's generator with ``value`` and dispatch its next op.
+
+        ``state.status`` is already READY here: ranks start READY, stay READY
+        across non-blocking resumptions, and :meth:`_resume` restores READY
+        when a blocking operation completes.
+        """
+        if state.status is _DONE:
             raise SimulationError(f"rank {state.rank} stepped after completion")
-        state.status = RankStatus.READY
         state.steps += 1
         try:
-            operation = state.generator.send(value)
+            operation = state.resume_fn(value)
         except StopIteration:
-            state.status = RankStatus.DONE
+            state.status = _DONE
             self._done_count += 1
             return
         except Exception:
-            state.status = RankStatus.FAILED
+            state.status = _FAILED
             raise
-        self._dispatch(state, operation)
+        handler = self._op_table.get(operation.__class__)
+        if handler is None:
+            handler = self._resolve_handler(state, operation)
+        handler(state, operation)
 
-    def _dispatch(self, state: RankState, operation: Operation) -> None:
-        rank = state.rank
-        if isinstance(operation, ComputeOp):
-            if operation.seconds < 0:
-                raise ProgramError(f"rank {rank} yielded a negative compute time")
-            state.now += operation.seconds
-            self.schedule_at(state.now, lambda: self._step(state, None))
-        elif isinstance(operation, SendOp):
-            request = self.transport.post_send(rank, operation, state.now)
-            self._block_on(state, [request], lambda reqs: None, "send")
-        elif isinstance(operation, IsendOp):
-            request = self.transport.post_send(rank, operation, state.now)
-            state.now += self.machine.send_overhead
-            self.schedule_at(state.now, lambda: self._step(state, request))
-        elif isinstance(operation, RecvOp):
-            request = self.transport.post_recv(rank, operation, state.now)
-            self._block_on(state, [request], lambda reqs: reqs[0].status, "recv")
-        elif isinstance(operation, IrecvOp):
-            request = self.transport.post_recv(rank, operation, state.now)
-            self.schedule_at(state.now, lambda: self._step(state, request))
-        elif isinstance(operation, WaitOp):
-            request = operation.request
-            result = (lambda reqs: reqs[0].status) if request.op_kind == "recv" else (lambda reqs: None)
-            self._block_on(state, [request], result, "wait")
-        elif isinstance(operation, WaitallOp):
-            requests = list(operation.requests)
-            self._block_on(
-                state,
-                requests,
-                lambda reqs: [r.status for r in reqs],
-                "waitall",
-            )
+    def _resolve_handler(self, state: RankState, operation) -> Callable:
+        """Slow path: find (and cache) the handler for an Operation subclass."""
+        for base in type(operation).__mro__:
+            handler = self._op_table.get(base)
+            if handler is not None:
+                self._op_table[type(operation)] = handler
+                return handler
+        raise ProgramError(
+            f"rank {state.rank} yielded an unsupported operation: {operation!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Per-operation handlers (dispatched via the handler table)
+    # ------------------------------------------------------------------
+    # The three non-blocking handlers below inline the body of
+    # ``EventQueue.push_typed`` (mirrored exactly, minus the negative-time
+    # check their clamp makes redundant): scheduling a step is the single
+    # most frequent operation of a simulation and the call overhead alone is
+    # measurable.
+
+    def _op_compute(self, state: RankState, op: ComputeOp) -> None:
+        if op.seconds < 0:
+            raise ProgramError(f"rank {state.rank} yielded a negative compute time")
+        state.now = time = state.now + op.seconds
+        if time < self.time:
+            time = self.time
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        record = [time, seq, EVENT_STEP, state, None, False, False]
+        queue._live += 1
+        fast = queue._fast
+        if time == queue._now and (not fast or fast[-1][EV_TIME] == time):
+            fast.append(record)
         else:
-            raise ProgramError(
-                f"rank {rank} yielded an unsupported operation: {operation!r}"
-            )
+            _heappush(queue._heap, record)
 
+    def _op_send(self, state: RankState, op: SendOp) -> None:
+        request = self.transport.post_send(state.rank, op, state.now)
+        self._block_on(state, [request], _result_none, "send")
+
+    def _op_isend(self, state: RankState, op: IsendOp) -> None:
+        request = self.transport.post_send(state.rank, op, state.now)
+        state.now = time = state.now + self.machine.send_overhead
+        if time < self.time:
+            time = self.time
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        record = [time, seq, EVENT_STEP, state, request, False, False]
+        queue._live += 1
+        fast = queue._fast
+        if time == queue._now and (not fast or fast[-1][EV_TIME] == time):
+            fast.append(record)
+        else:
+            _heappush(queue._heap, record)
+
+    def _op_recv(self, state: RankState, op: RecvOp) -> None:
+        request = self.transport.post_recv(state.rank, op, state.now)
+        self._block_on(state, [request], _result_first_status, "recv")
+
+    def _op_irecv(self, state: RankState, op: IrecvOp) -> None:
+        request = self.transport.post_recv(state.rank, op, state.now)
+        time = state.now
+        if time < self.time:
+            time = self.time
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        record = [time, seq, EVENT_STEP, state, request, False, False]
+        queue._live += 1
+        fast = queue._fast
+        if time == queue._now and (not fast or fast[-1][EV_TIME] == time):
+            fast.append(record)
+        else:
+            _heappush(queue._heap, record)
+
+    def _op_wait(self, state: RankState, op: WaitOp) -> None:
+        request = op.request
+        result_fn = _result_first_status if request.op_kind == "recv" else _result_none
+        self._block_on(state, [request], result_fn, "wait")
+
+    def _op_waitall(self, state: RankState, op: WaitallOp) -> None:
+        requests = op.requests
+        if type(requests) is not list:
+            requests = list(requests)
+        self._block_on(state, requests, _result_all_statuses, "waitall")
+
+    # ------------------------------------------------------------------
     def _block_on(
         self,
         state: RankState,
@@ -297,28 +546,56 @@ class Simulator:
         why: str,
     ) -> None:
         """Suspend ``state`` until every request in ``requests`` has completed."""
-        state.status = RankStatus.BLOCKED
+        state.status = _BLOCKED
         state.blocked_on = why
         pending = [r for r in requests if not r.completed]
 
-        def resume() -> None:
-            completion = max(
-                [state.now] + [r.completion_time for r in requests if r.completed]
-            )
-            state.now = completion
-            state.blocked_on = ""
-            self.schedule_at(state.now, lambda: self._step(state, result_fn(requests)))
-
         if not pending:
-            resume()
+            # Everything already finished (e.g. an eager send completed at
+            # posting, or a wait on long-done requests): resume without
+            # allocating a completion closure.
+            self._resume(state, requests, result_fn)
             return
 
-        remaining = {"count": len(pending)}
+        if len(pending) == 1:
+            pending[0].add_callback(
+                lambda _request: self._resume(state, requests, result_fn)
+            )
+            return
+
+        remaining = [len(pending)]
 
         def on_complete(_request: Request) -> None:
-            remaining["count"] -= 1
-            if remaining["count"] == 0:
-                resume()
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._resume(state, requests, result_fn)
 
         for request in pending:
             request.add_callback(on_complete)
+
+    def _resume(
+        self,
+        state: RankState,
+        requests: list[Request],
+        result_fn: Callable[[list[Request]], object],
+    ) -> None:
+        """Unblock ``state``: advance its clock and schedule the next step."""
+        completion = state.now
+        for request in requests:
+            if request.completed and request.completion_time > completion:
+                completion = request.completion_time
+        state.now = completion
+        state.status = _READY
+        state.blocked_on = ""
+        # Inline of EventQueue.push_typed, as in the non-blocking handlers.
+        time = completion if completion > self.time else self.time
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        record = [time, seq, EVENT_STEP, state, result_fn(requests), False, False]
+        queue._live += 1
+        fast = queue._fast
+        if time == queue._now and (not fast or fast[-1][EV_TIME] == time):
+            fast.append(record)
+        else:
+            _heappush(queue._heap, record)

@@ -1,89 +1,231 @@
-"""Deterministic event queue for the discrete-event simulator.
+"""Deterministic typed event queue for the discrete-event simulator.
 
 Events are ordered by ``(time, sequence)`` where the sequence number is the
 insertion order; this makes simulations fully deterministic even when many
 events share a timestamp (common at t=0 when every rank starts).
+
+The queue is the innermost loop of every simulation, so events are stored as
+flat *typed records* — plain lists indexed by the ``EV_*`` constants — rather
+than objects with per-event closures:
+
+``[time, seq, kind, a, b, cancelled, popped]``
+
+The ``kind`` field tells the engine how to interpret the two payload slots
+``a`` / ``b`` without allocating a closure (or even a payload tuple) per
+event:
+
+* :data:`EVENT_CALLBACK` — ``a`` is a zero-argument callable, ``b`` unused
+  (the general-purpose lane, used for rendezvous control traffic and tests);
+* :data:`EVENT_STEP` — ``a`` is the rank state, ``b`` the resume value:
+  resume a rank generator (the engine's hottest event type);
+* :data:`EVENT_DELIVER` — ``a`` is the message, ``b`` the pre-matched posted
+  receive (or None): a payload physically arrives at its destination rank.
+  The engine coalesces consecutive same-timestamp deliveries to one receiver
+  into a burst.
+
+Two structural fast paths keep the common cases cheap:
+
+* a maintained *live counter* makes ``len(queue)`` / ``bool(queue)`` O(1)
+  (they used to scan the whole heap for non-cancelled events);
+* a *zero-delay fast lane*: events scheduled at exactly the timestamp
+  currently being drained (immediate self-resumes such as waits on already
+  completed requests) go to a FIFO deque instead of the O(log n) heap.
+  Because the sequence counter is monotonic, appending to the lane preserves
+  global ``(time, seq)`` order; :meth:`pop` simply takes the smaller of the
+  two heads.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Callable
 
-__all__ = ["Event", "EventQueue"]
+__all__ = [
+    "EVENT_CALLBACK",
+    "EVENT_STEP",
+    "EVENT_DELIVER",
+    "EV_TIME",
+    "EV_SEQ",
+    "EV_KIND",
+    "EV_A",
+    "EV_B",
+    "EV_CANCELLED",
+    "EventQueue",
+]
 
+#: ``a`` is a zero-argument callable.
+EVENT_CALLBACK = 0
+#: ``a`` is the rank state, ``b`` the resume value.
+EVENT_STEP = 1
+#: ``a`` is the message, ``b`` the pre-matched posted receive (or None).
+EVENT_DELIVER = 2
 
-@dataclass(order=True)
-class Event:
-    """A single scheduled callback.
-
-    Attributes
-    ----------
-    time:
-        Simulated time at which the callback fires.
-    seq:
-        Tie-breaking insertion sequence number.
-    callback:
-        Zero-argument callable executed when the event fires.
-    cancelled:
-        Cancelled events stay in the heap but are skipped when popped.
-    """
-
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-    def cancel(self) -> None:
-        """Mark the event so it will be ignored when popped."""
-        self.cancelled = True
+#: Indices into an event record.
+EV_TIME, EV_SEQ, EV_KIND, EV_A, EV_B, EV_CANCELLED, EV_POPPED = range(7)
 
 
 class EventQueue:
-    """A minimal binary-heap event queue with cancellation support."""
+    """A binary-heap event queue with typed records, batching and cancellation.
+
+    Records compare as lists, so the heap orders them by ``(time, seq)`` with
+    native C comparisons (``kind`` is an int tiebreaker that is never reached
+    because sequence numbers are unique).
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[list] = []
+        self._fast: deque[list] = deque()
+        self._seq = 0
+        self._live = 0
         self._popped = 0
+        #: Timestamp of the most recently popped event (the drain point); new
+        #: events at exactly this time take the fast lane.
+        self._now = float("-inf")
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
 
     @property
     def events_processed(self) -> int:
         """Number of (non-cancelled) events popped so far."""
         return self._popped
 
-    def push(self, time: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at absolute simulated ``time``."""
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def push(self, time: float, callback: Callable[[], None]) -> list:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Returns the event record; pass it to :meth:`cancel` to revoke it.
+        """
+        return self.push_typed(time, EVENT_CALLBACK, callback)
+
+    def push_typed(self, time: float, kind: int, a, b=None) -> list:
+        """Schedule a typed event record at absolute simulated ``time``."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        event = Event(time=float(time), seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        record = [time, seq, kind, a, b, False, False]
+        self._live += 1
+        fast = self._fast
+        # Zero-delay fast lane: the record fires at the timestamp currently
+        # being drained, so it sorts after every pending event at that time
+        # (its seq is larger) and before everything later — append beats the
+        # heap.  The tail check keeps the lane (time, seq)-sorted even under
+        # out-of-order direct pushes.
+        if time == self._now and (not fast or fast[-1][EV_TIME] == time):
+            fast.append(record)
+        else:
+            heapq.heappush(self._heap, record)
+        return record
 
-    def pop(self) -> Event | None:
-        """Pop and return the next non-cancelled event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+    def cancel(self, record: list) -> None:
+        """Mark a pending event so it will be skipped when reached."""
+        if not record[EV_CANCELLED]:
+            record[EV_CANCELLED] = True
+            if not record[EV_POPPED]:
+                self._live -= 1
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def pop(self) -> list | None:
+        """Pop and return the next non-cancelled event record, or ``None``."""
+        heap, fast = self._heap, self._fast
+        while True:
+            if fast:
+                if heap and heap[0] < fast[0]:
+                    record = heapq.heappop(heap)
+                else:
+                    record = fast.popleft()
+            elif heap:
+                record = heapq.heappop(heap)
+            else:
+                return None
+            if record[EV_CANCELLED]:
                 continue
+            record[EV_POPPED] = True
+            self._live -= 1
             self._popped += 1
-            return event
-        return None
+            self._now = record[EV_TIME]
+            return record
+
+    def peek_record(self) -> list | None:
+        """Return the next non-cancelled event record without popping it.
+
+        Used by the engine's run loop to coalesce consecutive same-timestamp
+        deliveries to one receiver without materialising whole batches.
+        """
+        heap, fast = self._heap, self._fast
+        while heap and heap[0][EV_CANCELLED]:
+            heapq.heappop(heap)
+        while fast and fast[0][EV_CANCELLED]:
+            fast.popleft()
+        if fast:
+            if heap and heap[0] < fast[0]:
+                return heap[0]
+            return fast[0]
+        return heap[0] if heap else None
+
+    def pop_batch(self) -> list[list]:
+        """Pop the whole cohort of events sharing the earliest timestamp.
+
+        Returns the records in ``(time, seq)`` order (empty list when the
+        queue is drained).  Events scheduled *while the cohort executes* at
+        the same timestamp land in the fast lane and form the next batch, so
+        global ordering is preserved.
+
+        This is the queue-level cohort API for external drivers;
+        :meth:`repro.sim.engine.Simulator._run_loop` streams through an
+        inlined equivalent (record by record, without materialising the
+        batch list) — keep the two in sync.
+        """
+        first = self.pop()
+        if first is None:
+            return []
+        batch = [first]
+        time = first[EV_TIME]
+        heap, fast = self._heap, self._fast
+        while True:
+            while heap and heap[0][EV_CANCELLED]:
+                heapq.heappop(heap)
+            while fast and fast[0][EV_CANCELLED]:
+                fast.popleft()
+            if fast and fast[0][EV_TIME] == time and not (heap and heap[0] < fast[0]):
+                record = fast.popleft()
+            elif heap and heap[0][EV_TIME] == time:
+                record = heapq.heappop(heap)
+            else:
+                return batch
+            record[EV_POPPED] = True
+            self._live -= 1
+            self._popped += 1
+            batch.append(record)
+
+    def discount_cancelled(self) -> None:
+        """Un-count one popped-but-cancelled event from ``events_processed``.
+
+        A callback early in a timestamp cohort may cancel a later event of
+        the *same* cohort after :meth:`pop_batch` already popped it; a driver
+        draining with :meth:`pop_batch` should skip such records and call
+        this so the processed-event count matches one-pop-at-a-time
+        semantics.  (The engine's run loop pops record by record, so
+        cancellations are filtered before counting and it never needs this.)
+        """
+        self._popped -= 1
 
     def peek_time(self) -> float | None:
         """Return the timestamp of the next pending event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        record = self.peek_record()
+        return record[EV_TIME] if record is not None else None
 
     def clear(self) -> None:
         """Drop all pending events."""
         self._heap.clear()
+        self._fast.clear()
+        self._live = 0

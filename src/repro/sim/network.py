@@ -91,6 +91,10 @@ class NetworkConfig:
 class NetworkModel:
     """Stateful network timing model (holds the jitter RNG and link queues)."""
 
+    #: Jitter variates prefetched per block; sequence-identical to scalar
+    #: draws (numpy array sampling consumes the bit stream the same way).
+    _JITTER_BLOCK = 256
+
     def __init__(self, config: NetworkConfig | None = None, seed: int | None = None) -> None:
         self.config = config or NetworkConfig()
         if seed is not None:
@@ -100,6 +104,16 @@ class NetworkModel:
         self._link_free_at: dict[int, float] = {}
         self.messages_timed = 0
         self.total_bytes = 0
+        self._jitter_buf: list[float] = []
+        self._jitter_idx = 0
+        # Config fields copied to attributes: read on every timed message.
+        cfg = self.config
+        self._latency = cfg.latency
+        self._bandwidth = cfg.bandwidth
+        self._jitter_scale = cfg.jitter_sigma * cfg.latency
+        self._contention = cfg.contention
+        self._drop_probability = cfg.drop_probability
+        self._retransmit_penalty = cfg.retransmit_penalty
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -126,23 +140,48 @@ class NetworkModel:
         consumes random numbers, so call order matters for reproducibility;
         the transport calls it exactly once per data or control message.
         """
-        check_non_negative("inject_time", inject_time)
-        cfg = self.config
-        transfer = self.base_transfer_time(nbytes)
-        jitter = self._rng.jitter(cfg.jitter_sigma * cfg.latency)
-        penalty = 0.0
-        if cfg.drop_probability > 0.0 and self._rng.bernoulli(cfg.drop_probability):
-            penalty = cfg.retransmit_penalty
+        if inject_time < 0 or nbytes < 0:
+            check_non_negative("inject_time", inject_time)
+            check_non_negative("nbytes", nbytes)
+        serialization = nbytes / self._bandwidth
+        drop_probability = self._drop_probability
 
+        jitter_scale = self._jitter_scale
+        if jitter_scale <= 0.0:
+            jitter = 0.0
+        elif drop_probability > 0.0:
+            # Retransmission draws interleave with jitter draws on the same
+            # stream, so block prefetching would reorder them; draw per call.
+            jitter = self._rng.jitter(jitter_scale)
+        else:
+            idx = self._jitter_idx
+            buf = self._jitter_buf
+            if idx >= len(buf):
+                buf = self._jitter_buf = self._rng.jitter_block(
+                    jitter_scale, self._JITTER_BLOCK
+                )
+                idx = 0
+            self._jitter_idx = idx + 1
+            jitter = buf[idx]
+
+        penalty = 0.0
+        if drop_probability > 0.0 and self._rng.bernoulli(drop_probability):
+            penalty = self._retransmit_penalty
+
+        # Grouping matters: keep (latency + serialization) as one term so the
+        # floating-point result is bit-identical to base_transfer_time().
+        transfer = self._latency + serialization
         arrival = inject_time + transfer + jitter + penalty
 
-        if cfg.contention:
+        if self._contention:
             # Serialise through the destination's inbound channel: the message
             # cannot start draining into the destination before the channel is
             # free, and it occupies the channel for its serialization time.
             free_at = self._link_free_at.get(dst, 0.0)
-            start = max(arrival - self.serialization_time(nbytes), free_at)
-            arrival = start + self.serialization_time(nbytes)
+            start = arrival - serialization
+            if free_at > start:
+                start = free_at
+            arrival = start + serialization
             self._link_free_at[dst] = arrival
 
         self.messages_timed += 1

@@ -15,7 +15,6 @@ or "physical").  The format is self-contained and append-friendly.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, TextIO
 
@@ -28,7 +27,7 @@ _FORMAT_VERSION = 1
 
 
 def _record_to_json(record: TraceRecord, level: str) -> dict:
-    payload = asdict(record)
+    payload = record._asdict()
     payload["level"] = level
     return payload
 

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = ["TraceRecord"]
 
 
-@dataclass(frozen=True)
-class TraceRecord:
+class TraceRecord(NamedTuple):
     """One received message, as seen by one of the two trace levels.
+
+    A named tuple rather than a dataclass: two records are built per
+    simulated message (one per trace level), and tuple construction is
+    allocation-cheap on that hot path.
 
     Attributes
     ----------

@@ -103,11 +103,27 @@ class SeededRNG:
             return 0.0
         return abs(float(self._rng.normal(0.0, scale)))
 
+    def jitter_block(self, scale: float, n: int) -> list[float]:
+        """A block of ``n`` jitter variates, sequence-identical to ``n``
+        successive :meth:`jitter` calls (numpy array sampling consumes the
+        underlying bit stream exactly like repeated scalar draws)."""
+        if scale <= 0.0:
+            return [0.0] * n
+        return np.abs(self._rng.normal(0.0, scale, size=n)).tolist()
+
     def lognormal_factor(self, sigma: float) -> float:
         """Multiplicative noise factor with median 1.0."""
         if sigma <= 0.0:
             return 1.0
         return float(self._rng.lognormal(0.0, sigma))
+
+    def lognormal_block(self, sigma: float, n: int) -> list[float]:
+        """A block of ``n`` noise factors, sequence-identical to ``n``
+        successive :meth:`lognormal_factor` calls (numpy array sampling
+        consumes the underlying bit stream exactly like scalar draws)."""
+        if sigma <= 0.0:
+            return [1.0] * n
+        return self._rng.lognormal(0.0, sigma, size=n).tolist()
 
     def exponential(self, mean: float) -> float:
         """Exponential variate with the given mean (0 if mean <= 0)."""

@@ -53,6 +53,15 @@ class Workload:
     name: str = "abstract"
     #: Process counts the paper's Table 1 reports for this application.
     paper_process_counts: tuple[int, ...] = ()
+    #: When True, :meth:`compute` prefetches compute-noise factors from
+    #: ``ctx.rng`` in blocks (sequence-identical to per-call draws, but
+    #: without the per-call numpy overhead).  Workload programs that draw
+    #: from ``ctx.rng`` directly must set this False, otherwise the prefetch
+    #: would reorder their draws relative to the noise stream.
+    prefetch_compute_noise: bool = True
+
+    #: Block size for the compute-noise prefetch.
+    _NOISE_BLOCK = 128
 
     def __init__(
         self,
@@ -109,8 +118,16 @@ class Workload:
     def compute(self, ctx: RankContext, units: float = 1.0) -> ComputeOp:
         """A compute phase of ``units`` times the base compute time, with noise."""
         base = self.compute_time * units
-        noisy = base * ctx.rng.lognormal_factor(self.compute_noise)
-        return ComputeOp(seconds=noisy)
+        sigma = self.compute_noise
+        if not self.prefetch_compute_noise:
+            return ComputeOp(base * ctx.rng.lognormal_factor(sigma))
+        try:
+            factor = next(ctx.params["_noise_iter"])
+        except (KeyError, StopIteration):
+            block = ctx.rng.lognormal_block(sigma, self._NOISE_BLOCK)
+            ctx.params["_noise_iter"] = noise = iter(block)
+            factor = next(noise)
+        return ComputeOp(base * factor)
 
     def describe(self) -> WorkloadDescription:
         """Return the static description of this instance."""

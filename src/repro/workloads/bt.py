@@ -114,10 +114,13 @@ class BTWorkload(Workload):
                 (z_down, z_up, self.Z_BACKWARD_BYTES, _TAG_Z_BWD),
             )
 
+        # The exchange schedule is identical every iteration; build it once.
+        sweeps = [cell_sweeps(cell) for cell in range(ncells)]
+
         for _iteration in range(self.iterations):
             yield self.compute(ctx, 1.0)
             for cell in range(ncells):
-                for recv_from, send_to, nbytes, tag in cell_sweeps(cell):
+                for recv_from, send_to, nbytes, tag in sweeps[cell]:
                     if recv_from == rank or send_to == rank or recv_from is None or send_to is None:
                         # Degenerate neighbour on tiny grids (a 1x1 grid only).
                         continue

@@ -132,6 +132,9 @@ class RandomSenderWorkload(Workload):
     """
 
     name = "random-sender"
+    #: The program draws gaps and sizes from ctx.rng between compute phases,
+    #: so the compute-noise prefetch would reorder its stream.
+    prefetch_compute_noise = False
 
     def __init__(self, nprocs: int, messages_per_rank: int = 20, **kwargs) -> None:
         if messages_per_rank <= 0:

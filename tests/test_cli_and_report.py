@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.bench import carry_baseline
 from repro.analysis.experiments import ExperimentContext
 from repro.analysis.figures_accuracy import figure3
 from repro.analysis.report import (
@@ -135,3 +136,19 @@ class TestCLICommands:
             ["run", "ring-exchange", "--nprocs", "4", "--scale", "0.05", "--jitter", "0.0"]
         )
         assert code == 0
+
+
+class TestBenchBaseline:
+    def test_carry_baseline_copies_from_previous(self):
+        summary = {"benchmarks": {"b": {"mean_s": 1.0}}}
+        previous = {"baseline": {"label": "pre-refactor", "mean_s": 2.0}}
+        assert carry_baseline(summary, previous)["baseline"]["label"] == "pre-refactor"
+
+    def test_carry_baseline_keeps_existing(self):
+        summary = {"baseline": {"label": "ours"}}
+        carry_baseline(summary, {"baseline": {"label": "theirs"}})
+        assert summary["baseline"]["label"] == "ours"
+
+    def test_carry_baseline_no_previous_baseline(self):
+        summary = {"benchmarks": {}}
+        assert "baseline" not in carry_baseline(summary, {})

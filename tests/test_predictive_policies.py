@@ -171,3 +171,64 @@ class TestPredictiveRendezvousPolicy:
         workload2 = create_workload("ring-exchange", nprocs=4, iterations=60)
         predictive = run_with_policy(workload2, PredictiveRendezvousPolicy())
         assert predictive.makespan < baseline.makespan
+
+
+class TestBurstHooks:
+    """The burst hooks must leave each policy in the same state as a
+    per-message replay of the same delivery sequence."""
+
+    MESSAGES = [
+        (1 + i % 3, 1024 * (1 + i % 2), 0, "p2p") for i in range(36)
+    ]
+
+    @staticmethod
+    def _feed(policy, burst):
+        policy.bind(MachineConfig(), 8)
+        if burst:
+            policy.on_burst_delivered(0, TestBurstHooks.MESSAGES, 0.0)
+        else:
+            for src, nbytes, tag, kind in TestBurstHooks.MESSAGES:
+                policy.on_message_delivered(0, src, nbytes, tag, kind, 0.0)
+        return policy
+
+    def test_buffer_policy_burst_matches_sequential(self):
+        sequential = self._feed(PredictiveBufferPolicy(), burst=False)
+        bursty = self._feed(PredictiveBufferPolicy(), burst=True)
+        assert bursty._buffered[0] == sequential._buffered[0]
+        assert bursty._recent[0] == sequential._recent[0]
+        assert bursty.predictor.predict(0) == sequential.predictor.predict(0)
+        # Both policies make identical eager decisions afterwards.
+        for src in range(1, 8):
+            assert bursty.allows_eager(src, 0, 1024, "p2p", 1.0) == \
+                sequential.allows_eager(src, 0, 1024, "p2p", 1.0)
+
+    def test_credit_policy_burst_matches_sequential(self):
+        # Regression: grants are cumulative and capped, so the burst hook
+        # must interleave observe/grant per message — granting once from the
+        # post-burst predictions leaves a different credit balance.
+        sequential = self._feed(PredictiveCreditPolicy(), burst=False)
+        bursty = self._feed(PredictiveCreditPolicy(), burst=True)
+        assert bursty.predictor.predict(0) == sequential.predictor.predict(0)
+        for src in range(8):
+            assert bursty.credits.available(0, src) == \
+                sequential.credits.available(0, src)
+        assert bursty.credits.total_granted_bytes() == \
+            sequential.credits.total_granted_bytes()
+
+    def test_rendezvous_policy_burst_matches_sequential(self):
+        sequential = self._feed(PredictiveRendezvousPolicy(), burst=False)
+        bursty = self._feed(PredictiveRendezvousPolicy(), burst=True)
+        assert bursty.predictor.predict(0) == sequential.predictor.predict(0)
+        assert bursty.predictor.observations == sequential.predictor.observations
+
+    def test_base_policy_burst_default_replays_per_message(self):
+        calls = []
+
+        class Recorder(StandardFlowControl):
+            def on_message_delivered(self, dst, src, nbytes, tag, kind, now):
+                calls.append((dst, src, nbytes, tag, kind, now))
+
+        policy = Recorder()
+        policy.bind(MachineConfig(), 4)
+        policy.on_burst_delivered(2, [(0, 64, 1, "p2p"), (1, 128, 2, "p2p")], 3.0)
+        assert calls == [(2, 0, 64, 1, "p2p", 3.0), (2, 1, 128, 2, "p2p", 3.0)]

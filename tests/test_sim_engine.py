@@ -153,6 +153,111 @@ class TestComputeAndTime:
         assert result.stats.eager_latency.mean > 0.0
 
 
+class TestSingleUse:
+    def test_second_run_raises(self):
+        """Regression: a second run() used to silently reuse stale clock and
+        transport state; it must fail loudly now."""
+
+        def program(ctx):
+            yield ctx.comm.compute(1.0)
+
+        sim = make_sim(nprocs=1)
+        first = sim.run([program])
+        assert first.makespan == pytest.approx(1.0)
+        with pytest.raises(SimulationError, match="single-use"):
+            sim.run([program])
+
+    def test_invalid_programs_list_does_not_consume_instance(self):
+        """A wrong-length programs list is rejected before any state is
+        consumed, so a corrected retry on the same instance must work."""
+
+        def program(ctx):
+            yield ctx.comm.compute(1.0)
+
+        sim = make_sim(nprocs=2)
+        with pytest.raises(ValueError, match="program factories"):
+            sim.run([program, program, program])
+        result = sim.run([program])
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_failed_run_still_marks_instance_used(self):
+        def bad_program(ctx):
+            yield ctx.comm.compute(0.0)
+            raise RuntimeError("boom")
+
+        def good_program(ctx):
+            yield ctx.comm.compute(0.0)
+
+        sim = make_sim(nprocs=1)
+        with pytest.raises(RuntimeError):
+            sim.run([bad_program])
+        with pytest.raises(SimulationError, match="single-use"):
+            sim.run([good_program])
+
+
+class TestBurstDelivery:
+    def test_same_time_deliveries_reach_policy_as_burst(self):
+        """Deliveries landing at one receiver at one timestamp arrive as a
+        single on_burst_delivered call; lone deliveries keep the per-message
+        hook."""
+        from repro.runtime.protocol import StandardFlowControl
+
+        class RecordingPolicy(StandardFlowControl):
+            name = "recording"
+
+            def __init__(self):
+                self.single = []
+                self.bursts = []
+
+            def on_message_delivered(self, dst, src, nbytes, tag, kind, now):
+                self.single.append((dst, src, nbytes))
+
+            def on_burst_delivered(self, dst, messages, now):
+                self.bursts.append((dst, list(messages)))
+
+        policy = RecordingPolicy()
+        # A noiseless, contention-free network delivers equal-size messages
+        # posted at the same time at exactly the same timestamp.
+        network = NetworkConfig.noiseless(seed=1)
+
+        def program(ctx):
+            if ctx.rank == 2:
+                yield ctx.comm.recv(source=0, tag=0)
+                yield ctx.comm.recv(source=1, tag=0)
+            else:
+                yield ctx.comm.send(2, 64, tag=0)
+
+        sim = Simulator(nprocs=3, seed=1, network=network, policy=policy)
+        sim.run([program])
+        assert policy.bursts, "expected at least one coalesced burst"
+        dst, messages = policy.bursts[0]
+        assert dst == 2
+        assert [(src, nbytes) for src, nbytes, _, _ in messages] == [(0, 64), (1, 64)]
+
+    def test_burst_results_match_per_message_results(self):
+        """The burst fast lane must not change any simulated output."""
+
+        def program(ctx):
+            comm = ctx.comm
+            for _ in range(3):
+                yield from comm.alltoall(512)
+                yield from comm.allreduce(64)
+
+        def run_once(force_fallback):
+            sim = Simulator(nprocs=4, seed=7, network=NetworkConfig(seed=7))
+            if force_fallback:
+                # Disable typed delivery events: every delivery goes through
+                # the legacy one-message closure path.
+                sim.transport._schedule_delivery = None
+            return sim.run([program])
+
+        burst = run_once(force_fallback=False)
+        fallback = run_once(force_fallback=True)
+        assert burst.makespan == fallback.makespan
+        assert burst.rank_finish_times == fallback.rank_finish_times
+        assert burst.stats.summary() == fallback.stats.summary()
+
+
 class TestErrors:
     def test_deadlock_detection(self):
         def program(ctx):
@@ -200,8 +305,40 @@ class TestErrors:
             for _ in range(1000):
                 yield ctx.comm.compute(1e-9)
 
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match="max_events"):
             make_sim(nprocs=1, max_events=50).run([program])
+
+    def test_max_events_guard_zero_delay_livelock(self):
+        """Zero-cost self-resumes ride the fast lane but still hit the guard."""
+
+        def program(ctx):
+            while True:
+                yield ctx.comm.compute(0.0)
+
+        with pytest.raises(SimulationError, match="max_events"):
+            make_sim(nprocs=1, max_events=100).run([program])
+
+    def test_time_backwards_event_rejected(self):
+        """An event behind the global clock (only possible by bypassing the
+        schedule_at clamp) aborts the simulation instead of corrupting it."""
+
+        def program(ctx):
+            yield ctx.comm.compute(1.0)
+
+        sim = make_sim(nprocs=1)
+        sim._queue.push(0.5, lambda: sim._queue.push(0.1, lambda: None))
+        with pytest.raises(SimulationError, match="time went backwards"):
+            sim.run([program])
+
+    def test_deadlock_report_includes_pending_queues(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.recv(source=1, tag=3)
+            else:
+                yield ctx.comm.compute(1e-6)
+
+        with pytest.raises(DeadlockError, match="pending queues"):
+            make_sim().run([program])
 
     def test_invalid_nprocs(self):
         with pytest.raises(ValueError):
