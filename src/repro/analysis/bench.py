@@ -6,14 +6,17 @@ successive PRs can compare costs without re-reading raw pytest output.
 Exposed both as ``python -m repro bench`` and as
 ``benchmarks/run_benchmarks.py``.
 
-Two perf trajectories are tracked:
+Three perf trajectories are tracked:
 
 * ``BENCH_dpd.json`` — the predictor/DPD hot path (the default keyword);
 * ``BENCH_sim.json`` — the simulation engine and transport
-  (``python -m repro bench --keyword sim``).
+  (``python -m repro bench --keyword sim``);
+* ``BENCH_trace.json`` — the columnar trace data plane and the sharded
+  experiment runner (``python -m repro bench --keyword trace``).
 
 When no explicit ``--output`` is given, the artefact name is derived from
-the keyword (any keyword mentioning ``sim`` writes ``BENCH_sim.json``).
+the keyword (any keyword mentioning ``trace`` writes ``BENCH_trace.json``,
+any mentioning ``sim`` writes ``BENCH_sim.json``).
 """
 
 from __future__ import annotations
@@ -43,9 +46,15 @@ DEFAULT_KEYWORD = "dpd or predictor or evaluate_stream"
 #: the simulator suite has ``sim`` in its name).
 SIM_KEYWORD = "sim"
 
+#: ``-k`` selector for the trace data-plane benchmarks (columnar pipeline and
+#: sharded experiment runner; every benchmark has ``trace`` in its name).
+TRACE_KEYWORD = "trace"
+
 
 def default_output_for(keyword: str) -> str:
     """The perf-trajectory artefact a keyword's results belong in."""
+    if "trace" in keyword:
+        return "BENCH_trace.json"
     return "BENCH_sim.json" if "sim" in keyword else "BENCH_dpd.json"
 
 

@@ -16,8 +16,9 @@ Commands
 ``bench``
     Run the hot-path microbenchmarks non-interactively and write a
     perf-trajectory artefact: ``BENCH_dpd.json`` for the predictor suite
-    (default) or ``BENCH_sim.json`` for the simulation engine
-    (``--keyword sim``).
+    (default), ``BENCH_sim.json`` for the simulation engine
+    (``--keyword sim``), or ``BENCH_trace.json`` for the columnar trace
+    data plane and sharded runner (``--keyword trace``).
 ``list``
     List the available workloads and the paper's 19 configurations.
 """
@@ -80,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--output", type=str, default=None)
     report_cmd.add_argument("--skip-extensions", action="store_true")
     report_cmd.add_argument("--skip-ablations", action="store_true")
+    report_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="simulate the 19 configuration cells over N worker processes "
+        "(bit-identical to sequential; default: in-process)",
+    )
 
     bench_cmd = sub.add_parser(
         "bench",
@@ -92,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="artefact path; derived from the keyword when omitted "
         "(BENCH_dpd.json for the predictor suite, BENCH_sim.json for "
-        "--keyword sim)",
+        "--keyword sim, BENCH_trace.json for --keyword trace)",
     )
     bench_cmd.add_argument("--bench-dir", type=str, default=None)
     bench_cmd.add_argument(
@@ -178,6 +186,7 @@ def _cmd_report(args) -> int:
         scale=args.scale,
         include_extensions=not args.skip_extensions,
         include_ablations=not args.skip_ablations,
+        jobs=args.jobs,
     )
     text = report.render()
     print(text)

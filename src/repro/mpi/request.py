@@ -88,6 +88,25 @@ class Request:
         # Lazily allocated: most requests complete before anyone waits on them.
         self._callbacks: list[Callable[["Request"], None]] | None = None
 
+    def _reuse(self, op_kind: str, rank: int) -> "Request":
+        """Reinitialise a pooled request for a new operation.
+
+        The transport recycles requests of *blocking* operations (their
+        handles provably never escape to rank programs) through a freelist;
+        a recycled request is indistinguishable from a fresh one — including
+        a brand-new ``req_id``, which per-request keys (e.g. the tracer's
+        pending-receive map) rely on.
+        """
+        self.req_id = next(_request_ids)
+        self.op_kind = op_kind
+        self.rank = rank
+        self.completed = False
+        self.cancelled = False
+        self.completion_time = float("nan")
+        self.status = None
+        self._callbacks = None
+        return self
+
     def add_callback(self, callback: Callable[["Request"], None]) -> None:
         """Register ``callback(request)`` to run at completion.
 

@@ -13,7 +13,7 @@ Matching follows the MPI rules the paper's substrate (MPICH) implements:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.request import Request
@@ -22,9 +22,14 @@ from repro.runtime.message import Message
 __all__ = ["PostedReceive", "PostedReceiveQueue", "UnexpectedQueue"]
 
 
-@dataclass(slots=True)
-class PostedReceive:
-    """A receive that has been posted but not yet matched."""
+class PostedReceive(NamedTuple):
+    """A receive that has been posted but not yet matched.
+
+    A named tuple rather than a dataclass: one is built per posted receive,
+    and a flat tuple is the cheapest allocation the queue entries can be (the
+    transport builds them through ``tuple.__new__`` on the hot path, skipping
+    even the generated ``__new__`` wrapper).
+    """
 
     request: Request
     source: int
@@ -41,9 +46,12 @@ class PostedReceive:
         return True
 
 
-@dataclass(slots=True)
-class UnexpectedEntry:
-    """A message (or rendezvous announcement) that arrived before its receive."""
+class UnexpectedEntry(NamedTuple):
+    """A message (or rendezvous announcement) that arrived before its receive.
+
+    Flat tuple for the same reason as :class:`PostedReceive` — one entry per
+    unexpected arrival, on the delivery hot path.
+    """
 
     message: Message
     arrival_time: float

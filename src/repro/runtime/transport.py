@@ -60,6 +60,12 @@ __all__ = ["Transport"]
 #: FIFO order is never violated by jitter.
 _FIFO_EPSILON = 1.0e-12
 
+#: The matching-queue entries and receive statuses are named tuples; building
+#: them through ``tuple.__new__`` skips the generated ``__new__`` wrapper
+#: (one of these is built per message on the hot path, and the wrapper alone
+#: costs more than the allocation).
+_tuple_new = tuple.__new__
+
 
 @dataclass
 class _Rendezvous:
@@ -147,6 +153,12 @@ class Transport:
         self._tracer_arrival = tracer.on_message_arrival if tracer else None
         self.stats = stats or RuntimeStats(nprocs=nprocs)
         self.stats.nprocs = nprocs
+        #: Freelist of recycled request handles.  Only requests of *blocking*
+        #: operations end up here (the engine releases them after the owning
+        #: rank has resumed; their handles never escape to rank programs), so
+        #: reuse is invisible to applications.  Bounded by the number of
+        #: concurrently blocked ranks, i.e. tiny.
+        self._request_pool: list[Request] = []
         self._engine = None
         self._schedule_delivery = None
         self._channel_last_arrival: dict[tuple[int, int], float] = {}
@@ -188,6 +200,22 @@ class Transport:
         """Return the endpoint of ``rank`` (mainly for tests and stats)."""
         return self._endpoints[rank]
 
+    def release_request(self, request: Request) -> None:
+        """Return a completed, engine-owned request to the freelist.
+
+        Callers must guarantee no live reference to ``request`` remains (the
+        engine only releases the requests of blocking operations, whose
+        handles never reach rank programs).  The next ``post_send`` /
+        ``post_recv`` may hand the same object out again — reinitialised,
+        with a fresh ``req_id``.
+        """
+        if not request.completed:
+            raise RuntimeError(
+                f"request {request.req_id} released to the freelist while still "
+                "in flight: only completed, engine-owned requests may be recycled"
+            )
+        self._request_pool.append(request)
+
     def buffer_stats(self) -> list[BufferPoolStats]:
         """Eager-buffer memory accounting snapshots for every rank."""
         return [ep.buffers.stats() for ep in self._endpoints]
@@ -206,7 +234,8 @@ class Transport:
         if nbytes < 0:
             raise ValueError(f"message size must be non-negative, got {nbytes}")
 
-        request = Request("send", rank)
+        pool = self._request_pool
+        request = pool.pop()._reuse("send", rank) if pool else Request("send", rank)
         size_says_eager = nbytes <= self._eager_threshold
         policy_allows = self.policy.allows_eager(rank, dst, nbytes, op.kind, now)
         use_eager = policy_allows
@@ -245,13 +274,14 @@ class Transport:
     # ------------------------------------------------------------------
     def post_recv(self, rank: int, op: RecvOp | IrecvOp, now: float) -> Request:
         """Execute a receive posted by ``rank`` at local time ``now``."""
-        request = Request("recv", rank)
+        pool = self._request_pool
+        request = pool.pop()._reuse("recv", rank) if pool else Request("recv", rank)
         if self._tracer_recv_posted is not None:
             self._tracer_recv_posted(rank, request.req_id, now)
         if self._policy_observes_recv:
             self.policy.on_recv_posted(rank, op.source, op.tag, op.kind, now)
 
-        posted = PostedReceive(request, op.source, op.tag, op.kind, now)
+        posted = _tuple_new(PostedReceive, (request, op.source, op.tag, op.kind, now))
         endpoint = self._endpoints[rank]
         entry = endpoint.unexpected.match(posted)
         if entry is None:
@@ -285,12 +315,7 @@ class Transport:
             self._send_cts(state, posted, arrival + self._handshake_cpu)
         else:
             endpoint.unexpected.add(
-                UnexpectedEntry(
-                    message=message,
-                    arrival_time=arrival,
-                    is_rendezvous_announcement=True,
-                    rendezvous_token=state,
-                )
+                _tuple_new(UnexpectedEntry, (message, arrival, True, state, None))
             )
 
     def _send_cts(self, state: _Rendezvous, posted: PostedReceive, time: float) -> None:
@@ -367,12 +392,7 @@ class Transport:
                 storage = endpoint.buffers.store_unexpected(message.src, message.nbytes)
                 stats.record_delivery(expected=False, storage=storage)
                 endpoint.unexpected.add(
-                    UnexpectedEntry(
-                        message=message,
-                        arrival_time=arrival,
-                        is_rendezvous_announcement=False,
-                        storage=storage,
-                    )
+                    _tuple_new(UnexpectedEntry, (message, arrival, False, None, storage))
                 )
 
     def _complete_from_unexpected(
@@ -391,12 +411,15 @@ class Transport:
         """Finish a receive: build the status, trace it, fire the request."""
         complete_time = ready_time + self._recv_overhead + copy_penalty
         arrival_time = message.arrival_time
-        status = Status(
-            message.src,
-            message.tag,
-            message.nbytes,
-            message.kind,
-            arrival_time if arrival_time == arrival_time else ready_time,
+        status = _tuple_new(
+            Status,
+            (
+                message.src,
+                message.tag,
+                message.nbytes,
+                message.kind,
+                arrival_time if arrival_time == arrival_time else ready_time,
+            ),
         )
         rank = posted.request.rank
         if self._tracer_recv_matched is not None:

@@ -488,7 +488,7 @@ class Simulator:
 
     def _op_send(self, state: RankState, op: SendOp) -> None:
         request = self.transport.post_send(state.rank, op, state.now)
-        self._block_on(state, [request], _result_none, "send")
+        self._block_on(state, [request], _result_none, "send", recycle=True)
 
     def _op_isend(self, state: RankState, op: IsendOp) -> None:
         request = self.transport.post_send(state.rank, op, state.now)
@@ -508,7 +508,7 @@ class Simulator:
 
     def _op_recv(self, state: RankState, op: RecvOp) -> None:
         request = self.transport.post_recv(state.rank, op, state.now)
-        self._block_on(state, [request], _result_first_status, "recv")
+        self._block_on(state, [request], _result_first_status, "recv", recycle=True)
 
     def _op_irecv(self, state: RankState, op: IrecvOp) -> None:
         request = self.transport.post_recv(state.rank, op, state.now)
@@ -544,8 +544,16 @@ class Simulator:
         requests: list[Request],
         result_fn: Callable[[list[Request]], object],
         why: str,
+        recycle: bool = False,
     ) -> None:
-        """Suspend ``state`` until every request in ``requests`` has completed."""
+        """Suspend ``state`` until every request in ``requests`` has completed.
+
+        ``recycle`` is set only for blocking send/recv: those request handles
+        are engine-internal (the program receives ``None`` or a ``Status``,
+        never the request), so they can be returned to the transport freelist
+        once the rank has resumed.  Requests reached through wait/waitall are
+        program-held and must never be recycled.
+        """
         state.status = _BLOCKED
         state.blocked_on = why
         pending = [r for r in requests if not r.completed]
@@ -554,12 +562,12 @@ class Simulator:
             # Everything already finished (e.g. an eager send completed at
             # posting, or a wait on long-done requests): resume without
             # allocating a completion closure.
-            self._resume(state, requests, result_fn)
+            self._resume(state, requests, result_fn, recycle)
             return
 
         if len(pending) == 1:
             pending[0].add_callback(
-                lambda _request: self._resume(state, requests, result_fn)
+                lambda _request: self._resume(state, requests, result_fn, recycle)
             )
             return
 
@@ -568,7 +576,7 @@ class Simulator:
         def on_complete(_request: Request) -> None:
             remaining[0] -= 1
             if remaining[0] == 0:
-                self._resume(state, requests, result_fn)
+                self._resume(state, requests, result_fn, recycle)
 
         for request in pending:
             request.add_callback(on_complete)
@@ -578,6 +586,7 @@ class Simulator:
         state: RankState,
         requests: list[Request],
         result_fn: Callable[[list[Request]], object],
+        recycle: bool = False,
     ) -> None:
         """Unblock ``state``: advance its clock and schedule the next step."""
         completion = state.now
@@ -587,12 +596,19 @@ class Simulator:
         state.now = completion
         state.status = _READY
         state.blocked_on = ""
+        value = result_fn(requests)
+        if recycle:
+            # The result (None/Status) has been extracted; the blocking-op
+            # request handles are dead and go back to the transport freelist.
+            release = self.transport.release_request
+            for request in requests:
+                release(request)
         # Inline of EventQueue.push_typed, as in the non-blocking handlers.
         time = completion if completion > self.time else self.time
         queue = self._queue
         seq = queue._seq
         queue._seq = seq + 1
-        record = [time, seq, EVENT_STEP, state, result_fn(requests), False, False]
+        record = [time, seq, EVENT_STEP, state, value, False, False]
         queue._live += 1
         fast = queue._fast
         if time == queue._now and (not fast or fast[-1][EV_TIME] == time):

@@ -7,12 +7,15 @@ The paper instruments MPICH at two levels:
 * the **physical** level — messages as they actually arrive at the bottom of
   the library; the stream order additionally reflects network timing noise.
 
-:class:`repro.trace.tracer.TwoLevelTracer` reproduces both.  The runtime
-transport calls its hooks; analysis code extracts per-process sender and
-message-size streams from the recorded traces via
-:mod:`repro.trace.streams`.
+:class:`repro.trace.tracer.TwoLevelTracer` reproduces both.  Trace data is
+stored columnar (:mod:`repro.trace.columns`): the transport hooks append
+scalars into typed per-rank column arrays, and named
+:class:`repro.trace.records.TraceRecord` views are materialised lazily at
+the API boundary.  Analysis code extracts per-process sender and
+message-size streams as whole NumPy columns via :mod:`repro.trace.streams`.
 """
 
+from repro.trace.columns import TraceColumns
 from repro.trace.io import load_traces, save_traces
 from repro.trace.records import TraceRecord
 from repro.trace.streams import (
@@ -27,6 +30,7 @@ from repro.trace.tracer import ProcessTrace, TwoLevelTracer
 
 __all__ = [
     "TraceRecord",
+    "TraceColumns",
     "TwoLevelTracer",
     "save_traces",
     "load_traces",

@@ -7,9 +7,17 @@ re-load them later without re-simulating — the same role the original paper's
 trace files played between the instrumented MPICH runs and the off-line
 predictor evaluation.
 
-Format: one JSON object per line.  The first line is a header describing the
-run; every other line is one trace record with a ``level`` field ("logical"
-or "physical").  The format is self-contained and append-friendly.
+Format (version 2, columnar): one JSON object per line.  The first line is a
+header describing the run; every other line is **one rank's whole trace** —
+the logical and physical column vectors (sender, nbytes, tag, kind_code,
+time, seq) serialised as parallel lists.  One object per rank instead of one
+per record keeps both the file size and the save/load cost per message tiny:
+serialisation runs over whole columns, never over Python record objects.
+
+The version-1 format (one JSON object per record, with a ``level`` field) is
+still read transparently by :func:`load_traces`, and
+:func:`save_process_trace` / :func:`load_process_trace` keep speaking it for
+interoperability with old files and external tooling.
 """
 
 from __future__ import annotations
@@ -18,14 +26,36 @@ import json
 from pathlib import Path
 from typing import Iterable, TextIO
 
+import numpy as np
+
+from repro.trace.columns import (
+    META_FIELD_LIMIT,
+    META_SENDER_SHIFT,
+    META_TAG_SHIFT,
+    TraceColumns,
+)
 from repro.trace.records import TraceRecord
 from repro.trace.tracer import ProcessTrace, TwoLevelTracer
 
-__all__ = ["save_traces", "load_traces", "save_process_trace", "load_process_trace"]
+__all__ = [
+    "save_traces",
+    "save_traces_to",
+    "load_traces",
+    "load_traces_from",
+    "save_process_trace",
+    "load_process_trace",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_LEGACY_FORMAT_VERSION = 1
+
+#: Field order of the columnar payload (version 2).
+_COLUMN_FIELDS = ("sender", "nbytes", "tag", "kind_code", "time", "seq")
 
 
+# ----------------------------------------------------------------------
+# Version-1 (per-record) helpers — the backward-compatible record format
+# ----------------------------------------------------------------------
 def _record_to_json(record: TraceRecord, level: str) -> dict:
     payload = record._asdict()
     payload["level"] = level
@@ -38,9 +68,11 @@ def _record_from_json(payload: dict) -> tuple[str, TraceRecord]:
 
 
 def save_process_trace(trace: ProcessTrace, stream: TextIO) -> int:
-    """Write one rank's logical+physical records to an open text stream.
+    """Write one rank's logical+physical records as version-1 JSON lines.
 
-    Returns the number of records written.
+    This is the legacy one-object-per-record format; :func:`save_traces`
+    writes the columnar format instead.  Returns the number of records
+    written.
     """
     count = 0
     for record in trace.logical:
@@ -53,7 +85,7 @@ def save_process_trace(trace: ProcessTrace, stream: TextIO) -> int:
 
 
 def load_process_trace(rank: int, lines: Iterable[str]) -> ProcessTrace:
-    """Rebuild one rank's :class:`ProcessTrace` from JSON lines."""
+    """Rebuild one rank's :class:`ProcessTrace` from version-1 JSON lines."""
     trace = ProcessTrace(rank=rank)
     for line in lines:
         line = line.strip()
@@ -63,13 +95,92 @@ def load_process_trace(rank: int, lines: Iterable[str]) -> ProcessTrace:
         if record.receiver != rank:
             continue
         if level == "logical":
-            trace.logical.append(record)
+            target = trace.logical
         elif level == "physical":
-            trace.physical.append(record)
+            target = trace.physical
         else:
             raise ValueError(f"unknown trace level {level!r}")
+        target.append(record.sender, record.nbytes, record.tag, record.kind,
+                      record.time, record.seq)
     trace.sort()
     return trace
+
+
+# ----------------------------------------------------------------------
+# Version-2 (columnar) helpers
+# ----------------------------------------------------------------------
+def _columns_to_payload(columns: TraceColumns) -> dict:
+    """One trace level as parallel column lists (JSON-ready)."""
+    return {
+        "sender": columns.sender_array().tolist(),
+        "nbytes": columns.size_array().tolist(),
+        "tag": columns.tag_array().tolist(),
+        "kind_code": columns.kind_code_array().tolist(),
+        "time": columns.time_array().tolist(),
+        "seq": columns.seq_array().tolist(),
+    }
+
+
+def _columns_from_payload(receiver: int, payload: dict) -> TraceColumns:
+    """Rebuild a :class:`TraceColumns` from parallel column lists."""
+    missing = [field for field in _COLUMN_FIELDS if field not in payload]
+    if missing:
+        raise ValueError(f"trace payload is missing columns: {missing}")
+    lengths = {field: len(payload[field]) for field in _COLUMN_FIELDS}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"trace payload columns have unequal lengths: {lengths}")
+    columns = TraceColumns(receiver)
+    n = lengths["sender"]
+    if not n:
+        return columns
+    senders = np.asarray(payload["sender"], dtype=np.int64)
+    tags = np.asarray(payload["tag"], dtype=np.int64)
+    kind_codes = np.asarray(payload["kind_code"], dtype=np.int64)
+    for name, values in (("sender", senders), ("tag", tags)):
+        if values.min() < 0 or values.max() >= META_FIELD_LIMIT:
+            raise ValueError(
+                f"trace payload {name} column outside [0, {META_FIELD_LIMIT})"
+            )
+    if kind_codes.min() < 0 or kind_codes.max() > 1:
+        raise ValueError("trace payload kind_code column must be 0 (p2p) or 1 (collective)")
+    meta = (senders << META_SENDER_SHIFT) | (tags << META_TAG_SHIFT) | kind_codes
+    columns.meta.frombytes(meta.tobytes())
+    columns.nbytes.frombytes(np.asarray(payload["nbytes"], dtype=np.int64).tobytes())
+    columns.time.frombytes(np.asarray(payload["time"], dtype=np.float64).tobytes())
+    columns.seq.frombytes(np.asarray(payload["seq"], dtype=np.int64).tobytes())
+    return columns
+
+
+# ----------------------------------------------------------------------
+# Whole-run save/load
+# ----------------------------------------------------------------------
+def save_traces_to(
+    tracer: TwoLevelTracer,
+    handle: TextIO,
+    metadata: dict | None = None,
+) -> int:
+    """Write every rank's traces to an open text handle (columnar format).
+
+    Returns the total number of records written.
+    """
+    tracer.finalize()
+    header = {
+        "format": "repro-trace",
+        "version": _FORMAT_VERSION,
+        "nprocs": tracer.nprocs,
+        "metadata": metadata or {},
+    }
+    handle.write(json.dumps(header) + "\n")
+    total = 0
+    for trace in tracer.traces:
+        payload = {
+            "rank": trace.rank,
+            "logical": _columns_to_payload(trace.logical),
+            "physical": _columns_to_payload(trace.physical),
+        }
+        handle.write(json.dumps(payload) + "\n")
+        total += len(trace.logical) + len(trace.physical)
+    return total
 
 
 def save_traces(
@@ -77,7 +188,7 @@ def save_traces(
     path: str | Path,
     metadata: dict | None = None,
 ) -> int:
-    """Save every rank's traces to ``path`` (JSON lines).
+    """Save every rank's traces to ``path`` (columnar JSON lines).
 
     Parameters
     ----------
@@ -94,24 +205,71 @@ def save_traces(
     int
         Total number of records written.
     """
-    path = Path(path)
-    tracer.finalize()
-    header = {
-        "format": "repro-trace",
-        "version": _FORMAT_VERSION,
-        "nprocs": tracer.nprocs,
-        "metadata": metadata or {},
-    }
-    total = 0
-    with path.open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(header) + "\n")
-        for trace in tracer.traces:
-            total += save_process_trace(trace, handle)
-    return total
+    with Path(path).open("w", encoding="utf-8") as handle:
+        return save_traces_to(tracer, handle, metadata=metadata)
+
+
+def _load_v1_records(handle: TextIO, traces: list[ProcessTrace]) -> None:
+    """Append version-1 per-record lines into per-rank column stores."""
+    nprocs = len(traces)
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        level, record = _record_from_json(json.loads(line))
+        if not (0 <= record.receiver < nprocs):
+            raise ValueError(f"record receiver {record.receiver} out of range")
+        target = traces[record.receiver]
+        columns = target.logical if level == "logical" else target.physical
+        columns.append(record.sender, record.nbytes, record.tag, record.kind,
+                       record.time, record.seq)
+
+
+def _load_v2_ranks(handle: TextIO, traces: list[ProcessTrace]) -> None:
+    """Load version-2 one-object-per-rank columnar lines."""
+    nprocs = len(traces)
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        rank = int(payload["rank"])
+        if not (0 <= rank < nprocs):
+            raise ValueError(f"trace rank {rank} out of range")
+        traces[rank] = ProcessTrace(
+            rank=rank,
+            logical=_columns_from_payload(rank, payload["logical"]),
+            physical=_columns_from_payload(rank, payload["physical"]),
+        )
+
+
+def load_traces_from(handle: TextIO) -> tuple[list[ProcessTrace], dict]:
+    """Load traces from an open text handle (either format version)."""
+    header_line = handle.readline()
+    if not header_line:
+        raise ValueError("trace stream is empty")
+    header = json.loads(header_line)
+    if header.get("format") != "repro-trace":
+        raise ValueError("not a repro trace file")
+    version = header.get("version")
+    if version not in (_FORMAT_VERSION, _LEGACY_FORMAT_VERSION):
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {_LEGACY_FORMAT_VERSION} or {_FORMAT_VERSION})"
+        )
+    nprocs = int(header["nprocs"])
+    traces = [ProcessTrace(rank=rank) for rank in range(nprocs)]
+    if version == _FORMAT_VERSION:
+        _load_v2_ranks(handle, traces)
+    else:
+        _load_v1_records(handle, traces)
+    for trace in traces:
+        trace.sort()
+    return traces, header.get("metadata", {})
 
 
 def load_traces(path: str | Path) -> tuple[list[ProcessTrace], dict]:
-    """Load traces saved by :func:`save_traces`.
+    """Load traces saved by :func:`save_traces` (or the legacy v1 format).
 
     Returns
     -------
@@ -119,30 +277,5 @@ def load_traces(path: str | Path) -> tuple[list[ProcessTrace], dict]:
         One :class:`ProcessTrace` per rank (index = rank) and the metadata
         dictionary stored at save time.
     """
-    path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        header_line = handle.readline()
-        if not header_line:
-            raise ValueError(f"{path} is empty")
-        header = json.loads(header_line)
-        if header.get("format") != "repro-trace":
-            raise ValueError(f"{path} is not a repro trace file")
-        if header.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {header.get('version')!r} "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        nprocs = int(header["nprocs"])
-        traces = [ProcessTrace(rank=rank) for rank in range(nprocs)]
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            level, record = _record_from_json(json.loads(line))
-            if not (0 <= record.receiver < nprocs):
-                raise ValueError(f"record receiver {record.receiver} out of range")
-            target = traces[record.receiver]
-            (target.logical if level == "logical" else target.physical).append(record)
-    for trace in traces:
-        trace.sort()
-    return traces, header.get("metadata", {})
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return load_traces_from(handle)

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.trace.io import load_process_trace, load_traces, save_traces
+from repro.trace.io import (
+    load_process_trace,
+    load_traces,
+    save_process_trace,
+    save_traces,
+)
 from repro.trace.streams import sender_stream
 from repro.workloads.registry import create_workload
 from repro.workloads.runner import run_workload
@@ -52,6 +57,58 @@ class TestSaveLoadRoundtrip:
         save_traces(result.tracer, path)
         _, metadata = load_traces(path)
         assert metadata == {}
+
+    def test_columnar_format_is_one_object_per_rank(self, small_run, tmp_path):
+        _, result = small_run
+        path = tmp_path / "t.jsonl"
+        save_traces(result.tracer, path)
+        lines = path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["version"] == 2
+        # header + one columnar object per rank, regardless of record count
+        assert len(lines) == 1 + result.nprocs
+        body = json.loads(lines[1])
+        assert set(body) == {"rank", "logical", "physical"}
+        assert set(body["logical"]) == {"sender", "nbytes", "tag", "kind_code", "time", "seq"}
+
+    def test_full_record_equality_after_roundtrip(self, small_run, tmp_path):
+        _, result = small_run
+        path = tmp_path / "t.jsonl"
+        save_traces(result.tracer, path)
+        traces, _ = load_traces(path)
+        for rank in range(result.nprocs):
+            original = result.trace_for(rank)
+            assert list(original.logical) == list(traces[rank].logical)
+            assert list(original.physical) == list(traces[rank].physical)
+
+
+class TestLegacyFormatCompatibility:
+    """Version-1 (one JSON object per record) files stay loadable."""
+
+    def _write_v1(self, result, path):
+        header = {
+            "format": "repro-trace",
+            "version": 1,
+            "nprocs": result.nprocs,
+            "metadata": {"origin": "legacy"},
+        }
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for rank in range(result.nprocs):
+                save_process_trace(result.trace_for(rank), handle)
+
+    def test_v1_file_loads_identically(self, small_run, tmp_path):
+        _, result = small_run
+        v1 = tmp_path / "v1.jsonl"
+        v2 = tmp_path / "v2.jsonl"
+        self._write_v1(result, v1)
+        save_traces(result.tracer, v2)
+        legacy_traces, legacy_meta = load_traces(v1)
+        columnar_traces, _ = load_traces(v2)
+        assert legacy_meta == {"origin": "legacy"}
+        for old, new in zip(legacy_traces, columnar_traces):
+            assert list(old.logical) == list(new.logical)
+            assert list(old.physical) == list(new.physical)
 
 
 class TestFormatValidation:

@@ -90,3 +90,57 @@ class TestSummarizeStream:
         summary = summarize_stream(records, coverage=1.0)
         assert summary.frequent_senders[0] == 5
         assert summary.frequent_senders[1] == 7
+
+
+def _columns_from(records):
+    """Build a columnar store holding the same records."""
+    from repro.trace.columns import TraceColumns
+
+    columns = TraceColumns(receiver=0)
+    for r in records:
+        columns.append(r.sender, r.nbytes, r.tag, r.kind, r.time, r.seq)
+    return columns
+
+
+class TestColumnarFastPath:
+    """The vectorised TraceColumns paths agree with the per-record paths."""
+
+    def test_streams_match_record_path(self):
+        columns = _columns_from(SAMPLE)
+        assert sender_stream(columns).tolist() == sender_stream(SAMPLE).tolist()
+        assert size_stream(columns).tolist() == size_stream(SAMPLE).tolist()
+        for kinds in (["p2p"], ["collective"], ["p2p", "collective"], ["weird"]):
+            assert sender_stream(columns, kinds=kinds).tolist() == sender_stream(
+                SAMPLE, kinds=kinds
+            ).tolist()
+            assert size_stream(columns, kinds=kinds).tolist() == size_stream(
+                SAMPLE, kinds=kinds
+            ).tolist()
+
+    def test_counts_match_record_path(self):
+        columns = _columns_from(SAMPLE)
+        assert p2p_count(columns) == p2p_count(SAMPLE) == 3
+        assert collective_count(columns) == collective_count(SAMPLE) == 1
+
+    def test_summary_matches_record_path(self):
+        # A skewed stream so the frequent-value tie-breaking is exercised:
+        # senders 4 and 6 have equal counts; first appearance must win.
+        records = (
+            [record(sender=2, nbytes=10, seq=i) for i in range(6)]
+            + [record(sender=4, nbytes=20, seq=6)]
+            + [record(sender=6, nbytes=30, kind="collective", seq=7)]
+            + [record(sender=4, nbytes=20, seq=8)]
+            + [record(sender=6, nbytes=10, seq=9)]
+        )
+        for coverage in (0.5, 0.75, 0.98, 1.0):
+            fast = summarize_stream(_columns_from(records), coverage=coverage)
+            slow = summarize_stream(records, coverage=coverage)
+            assert fast == slow
+
+    def test_empty_columns(self):
+        from repro.trace.columns import TraceColumns
+
+        columns = TraceColumns(receiver=0)
+        assert sender_stream(columns).tolist() == []
+        assert summarize_stream(columns).total_messages == 0
+        assert summarize_stream(columns).frequent_senders == ()

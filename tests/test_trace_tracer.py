@@ -64,6 +64,103 @@ class TestTracerHooks:
         tracer.finalize()
         assert len(tracer.trace_for(0).physical) == 1
 
+    def test_hooks_after_finalize_raise(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        tracer.on_recv_posted(0, req_id=1, time=0.0)
+        tracer.on_recv_matched(0, req_id=1, sender=1, nbytes=8, tag=0, kind="p2p", time=0.1)
+        tracer.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            tracer.on_recv_posted(0, req_id=2, time=0.2)
+        with pytest.raises(RuntimeError, match="finalized"):
+            tracer.on_recv_matched(0, req_id=2, sender=1, nbytes=8, tag=0, kind="p2p", time=0.3)
+        with pytest.raises(RuntimeError, match="finalized"):
+            tracer.on_message_arrival(0, sender=1, nbytes=8, tag=0, kind="p2p", time=0.3)
+        # The already-recorded stream is untouched by the rejected calls.
+        assert len(tracer.trace_for(0).logical) == 1
+
+    def test_trace_for_seals_recording(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        tracer.trace_for(0)  # implicit finalize
+        with pytest.raises(RuntimeError, match="finalized"):
+            tracer.on_message_arrival(0, sender=1, nbytes=1, tag=0, kind="p2p", time=1.0)
+
+    def test_out_of_range_sender_or_tag_rejected(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        with pytest.raises(ValueError, match="meta-column range"):
+            tracer.on_message_arrival(
+                0, sender=2**31, nbytes=1, tag=0, kind="p2p", time=1.0
+            )
+        with pytest.raises(ValueError, match="meta-column range"):
+            tracer.on_recv_matched(
+                0, req_id=9, sender=0, nbytes=1, tag=2**31, kind="p2p", time=1.0
+            )
+
+
+class TestColumnarStore:
+    """The columnar store and its lazy record views agree with record lists."""
+
+    def test_record_views_match_appended_data(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        expected = []
+        for i in range(20):
+            sender = i % 3
+            nbytes = 64 * (1 + i % 4)
+            kind = "collective" if i % 5 == 0 else "p2p"
+            arrival = 1.0 - i * 0.01  # reverse time order: sort() must fix it
+            tracer.on_message_arrival(0, sender, nbytes, tag=i % 2, kind=kind, time=arrival)
+            expected.append((sender, nbytes, i % 2, kind, arrival, i))
+        trace = tracer.trace_for(0)
+        expected.sort(key=lambda t: (t[4], t[5]))
+        assert [
+            (r.sender, r.nbytes, r.tag, r.kind, r.time, r.seq) for r in trace.physical
+        ] == expected
+        assert all(r.receiver == 0 for r in trace.physical)
+
+    def test_sequence_protocol(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        for i in range(5):
+            tracer.on_message_arrival(0, sender=i, nbytes=8, tag=0, kind="p2p", time=float(i))
+        physical = tracer.trace_for(0).physical
+        assert len(physical) == 5
+        assert physical[0].sender == 0 and physical[-1].sender == 4
+        assert [r.sender for r in physical[1:3]] == [1, 2]
+        assert physical == list(physical)
+        with pytest.raises(IndexError):
+            physical[5]
+
+    def test_records_list_is_callers_to_mutate(self):
+        tracer = TwoLevelTracer(nprocs=1)
+        tracer.on_message_arrival(0, sender=1, nbytes=8, tag=0, kind="p2p", time=1.0)
+        tracer.on_message_arrival(0, sender=2, nbytes=8, tag=0, kind="p2p", time=2.0)
+        physical = tracer.trace_for(0).physical
+        view = physical.records()
+        view.reverse()
+        view.pop()
+        # Caller mutations never leak back into the column store.
+        assert [r.sender for r in physical] == [1, 2]
+        assert physical[0].sender == 1
+
+    def test_unknown_kind_rejected_with_clear_error(self):
+        from repro.trace.columns import TraceColumns
+
+        columns = TraceColumns(receiver=0)
+        with pytest.raises(ValueError, match="unsupported record kind"):
+            columns.append(1, 8, 0, "rma", 1.0, 0)
+
+    def test_numpy_column_accessors(self):
+        import numpy as np
+
+        tracer = TwoLevelTracer(nprocs=1)
+        tracer.on_message_arrival(0, sender=2, nbytes=100, tag=7, kind="collective", time=0.5)
+        tracer.on_message_arrival(0, sender=1, nbytes=50, tag=3, kind="p2p", time=0.25)
+        physical = tracer.trace_for(0).physical
+        assert physical.sender_array().tolist() == [1, 2]
+        assert physical.size_array().tolist() == [50, 100]
+        assert physical.tag_array().tolist() == [3, 7]
+        assert physical.kind_code_array().tolist() == [0, 1]
+        assert np.allclose(physical.time_array(), [0.25, 0.5])
+        assert physical.seq_array().tolist() == [1, 0]
+
 
 class TestTraceRecordsFromSimulation:
     def test_logical_matches_program_order(self, noiseless_bt4_run):
