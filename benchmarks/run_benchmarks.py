@@ -8,7 +8,9 @@ Usage::
 Equivalent to ``python -m repro bench``.  The JSON artefact records the
 per-benchmark mean/stddev so future PRs have a perf trajectory to compare
 against: the default keyword tracks the predictor (``BENCH_dpd.json``);
-``--keyword sim`` tracks the simulation engine (``BENCH_sim.json``).
+``--keyword sim`` tracks the simulation engine (``BENCH_sim.json``),
+``--keyword trace`` the columnar trace plane (``BENCH_trace.json``) and
+``--keyword feed`` the op-array workload feed (``BENCH_feed.json``).
 """
 
 from __future__ import annotations

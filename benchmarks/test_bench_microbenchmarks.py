@@ -11,6 +11,7 @@ from __future__ import annotations
 import io
 import itertools
 import json
+import os
 import time as _time
 
 import numpy as np
@@ -434,3 +435,110 @@ def _timed(fn) -> float:
     start = _time.perf_counter()
     fn()
     return _time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Op-array workload feed (``-k feed`` selects these -> BENCH_feed.json)
+# ----------------------------------------------------------------------
+
+def _feed_workload():
+    return create_workload("bt", nprocs=9, scale=0.05)
+
+
+def _feed_fingerprint(result):
+    traces = []
+    for rank in range(result.nprocs):
+        trace = result.trace_for(rank)
+        traces.append((list(trace.logical), list(trace.physical)))
+    return (
+        result.makespan,
+        result.rank_finish_times,
+        result.events_processed,
+        result.stats.summary(),
+        traces,
+    )
+
+
+class TestFeedMicrobenchmarks:
+    """Workload-feed benchmarks (``-k feed`` selects these).
+
+    ``python -m repro bench --keyword feed`` runs exactly this suite and
+    writes the ``BENCH_feed.json`` perf-trajectory artefact: the op-array
+    fast lane end to end against its own generator-path baseline, plus the
+    cold-compile cost.  The compiled numbers are warm-cache (the schedule
+    cache persists across rounds, as it does across repeated runs of one
+    configuration in a real process); ``test_bench_feed_compile_cold``
+    tracks the one-off replay cost a cold process pays.
+    """
+
+    def test_bench_feed_bt9_oparray(self, benchmark):
+        """End-to-end bt9 through the compiled op-array fast lane.
+
+        Asserts first that the fast lane is bit-identical to the generator
+        path and beats it end to end (interleaved best-of-N so load spikes
+        hit both paths), then benchmarks the compiled path."""
+        generator_result = run_workload(_feed_workload(), seed=1, compiled=False)
+        compiled_result = run_workload(_feed_workload(), seed=1, compiled=True)
+        assert _feed_fingerprint(compiled_result) == _feed_fingerprint(generator_result)
+
+        # Interleaved best-of-N so a load spike on a shared runner hits both
+        # paths.  The real margin is modest (~1.2-1.5x warm, see
+        # BENCH_feed.json), so the floor asserted here is deliberately loose
+        # and — because even best-of-5 wall clock is not trustworthy on
+        # shared CI runners — only enforced outside CI; the artefact records
+        # the actual ratio either way, and CI asserts its presence.
+        compiled_times, generator_times = [], []
+        for _ in range(5):
+            compiled_times.append(
+                _timed(lambda: run_workload(_feed_workload(), seed=1, compiled=True))
+            )
+            generator_times.append(
+                _timed(lambda: run_workload(_feed_workload(), seed=1, compiled=False))
+            )
+        compiled_best = min(compiled_times)
+        generator_best = min(generator_times)
+        if not os.environ.get("CI"):
+            assert generator_best >= 1.05 * compiled_best, (
+                f"op-array feed only {generator_best / compiled_best:.2f}x faster than "
+                f"the generator path (need >= 1.05x): compiled {compiled_best * 1e3:.2f}ms, "
+                f"generator {generator_best * 1e3:.2f}ms"
+            )
+
+        def simulate():
+            return run_workload(_feed_workload(), seed=1, compiled=True)
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.messages_sent > 0
+
+    def test_bench_feed_bt9_generator_baseline(self, benchmark):
+        """Reference cost of the same bt9 run under the generator protocol."""
+
+        def simulate():
+            return run_workload(_feed_workload(), seed=1, compiled=False)
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.messages_sent > 0
+
+    def test_bench_feed_compile_cold(self, benchmark):
+        """One-off cost of compiling all nine bt9 rank schedules cold."""
+        from repro.workloads.compile import clear_schedule_cache, compile_rank_lanes
+
+        workload = _feed_workload()
+
+        def compile_all():
+            clear_schedule_cache()
+            return [compile_rank_lanes(workload, rank) for rank in range(workload.nprocs)]
+
+        lanes = benchmark(compile_all)
+        assert all(l is not None and len(l) > 0 for l in lanes)
+
+    def test_bench_feed_lu8_oparray(self, benchmark):
+        """The message-densest skeleton (LU) through the fast lane."""
+
+        def simulate():
+            return run_workload(
+                create_workload("lu", nprocs=8, scale=0.02), seed=1, compiled=True
+            )
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.messages_sent > 0

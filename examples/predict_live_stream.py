@@ -11,18 +11,32 @@ optimisations act on.
 
 Run with::
 
-    python examples/predict_live_stream.py
+    python examples/predict_live_stream.py [--scale 0.5]
+
+(``--scale`` trades run time for stream length; CI smoke-runs the example
+at a tiny scale.)
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import NetworkConfig, create_workload, run_workload
 from repro.predictive import OnlineMessagePredictor
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="Fraction of the default iteration count to simulate (default 0.5).",
+    )
+    args = parser.parse_args(argv)
+
     # Simulate Sweep3D on 16 processes and take the stream of process 0.
-    workload = create_workload("sweep3d", nprocs=16, scale=0.5)
+    workload = create_workload("sweep3d", nprocs=16, scale=args.scale)
     result = run_workload(workload, seed=11, network=NetworkConfig(seed=11))
     rank = workload.representative_rank()
     records = result.trace_for(rank).physical

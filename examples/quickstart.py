@@ -12,10 +12,15 @@ This example walks the full pipeline of the library in a couple of minutes:
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--scale 0.2]
+
+(``--scale`` trades run time for stream length/accuracy; CI smoke-runs the
+example at a tiny scale.)
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import NetworkConfig, PeriodicityPredictor, create_workload, run_workload
 from repro.core import evaluate_stream
@@ -28,10 +33,19 @@ def predictor_factory() -> PeriodicityPredictor:
     return PeriodicityPredictor(window_size=24, max_period=256)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="Fraction of the class-A iteration count to simulate (default 0.2).",
+    )
+    args = parser.parse_args(argv)
+
     # 1. Build the workload skeleton: NAS BT, 9 processes, ~20% of the class A
-    #    iteration count so the example runs in a few seconds.
-    workload = create_workload("bt", nprocs=9, scale=0.2)
+    #    iteration count (by default) so the example runs in a few seconds.
+    workload = create_workload("bt", nprocs=9, scale=args.scale)
     print(f"workload: {workload!r}")
 
     # 2. Run it on the simulated MPI runtime (seeded => fully reproducible).

@@ -15,10 +15,15 @@ sketches:
 
 Run with::
 
-    python examples/scalable_buffers.py
+    python examples/scalable_buffers.py [--scale 1.0]
+
+(``--scale`` multiplies each experiment's default run scale; CI smoke-runs
+the example at a tiny scale.)
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.analysis.extensions import (
     credit_flow_experiment,
@@ -38,8 +43,20 @@ def show(title: str, outcome: dict, highlights: list[str]) -> None:
     print()
 
 
-def main() -> None:
-    memory = memory_reduction_experiment(workload_name="bt", nprocs=16, scale=0.25, seed=2003)
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="Multiplier on each experiment's default run scale (default 1.0).",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale
+
+    memory = memory_reduction_experiment(
+        workload_name="bt", nprocs=16, scale=0.25 * scale, seed=2003
+    )
     show(
         "Section 2.1 — eager buffer memory per process",
         memory,
@@ -53,7 +70,7 @@ def main() -> None:
         ],
     )
 
-    credits = credit_flow_experiment(nprocs=16, scale=1.0, seed=2003)
+    credits = credit_flow_experiment(nprocs=16, scale=scale, seed=2003)
     show(
         "Section 2.2 — unexpected-message exposure under collective fan-in",
         credits,
@@ -69,7 +86,7 @@ def main() -> None:
     )
 
     rendezvous = rendezvous_bypass_experiment(
-        workload_name="ring-exchange", nprocs=8, scale=1.0, seed=2003
+        workload_name="ring-exchange", nprocs=8, scale=scale, seed=2003
     )
     show(
         "Section 2.3 — long messages on the fast path",

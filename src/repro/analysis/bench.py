@@ -6,17 +6,19 @@ successive PRs can compare costs without re-reading raw pytest output.
 Exposed both as ``python -m repro bench`` and as
 ``benchmarks/run_benchmarks.py``.
 
-Three perf trajectories are tracked:
+Four perf trajectories are tracked:
 
 * ``BENCH_dpd.json`` — the predictor/DPD hot path (the default keyword);
 * ``BENCH_sim.json`` — the simulation engine and transport
   (``python -m repro bench --keyword sim``);
 * ``BENCH_trace.json`` — the columnar trace data plane and the sharded
-  experiment runner (``python -m repro bench --keyword trace``).
+  experiment runner (``python -m repro bench --keyword trace``);
+* ``BENCH_feed.json`` — the op-array workload feed versus the generator
+  protocol, end to end (``python -m repro bench --keyword feed``).
 
 When no explicit ``--output`` is given, the artefact name is derived from
-the keyword (any keyword mentioning ``trace`` writes ``BENCH_trace.json``,
-any mentioning ``sim`` writes ``BENCH_sim.json``).
+the keyword (any keyword mentioning ``feed`` writes ``BENCH_feed.json``,
+``trace`` writes ``BENCH_trace.json``, ``sim`` writes ``BENCH_sim.json``).
 """
 
 from __future__ import annotations
@@ -50,9 +52,15 @@ SIM_KEYWORD = "sim"
 #: sharded experiment runner; every benchmark has ``trace`` in its name).
 TRACE_KEYWORD = "trace"
 
+#: ``-k`` selector for the op-array workload-feed benchmarks (compiled fast
+#: lane vs generator protocol; every benchmark has ``feed`` in its name).
+FEED_KEYWORD = "feed"
+
 
 def default_output_for(keyword: str) -> str:
     """The perf-trajectory artefact a keyword's results belong in."""
+    if "feed" in keyword:
+        return "BENCH_feed.json"
     if "trace" in keyword:
         return "BENCH_trace.json"
     return "BENCH_sim.json" if "sim" in keyword else "BENCH_dpd.json"

@@ -17,8 +17,10 @@ Commands
     Run the hot-path microbenchmarks non-interactively and write a
     perf-trajectory artefact: ``BENCH_dpd.json`` for the predictor suite
     (default), ``BENCH_sim.json`` for the simulation engine
-    (``--keyword sim``), or ``BENCH_trace.json`` for the columnar trace
-    data plane and sharded runner (``--keyword trace``).
+    (``--keyword sim``), ``BENCH_trace.json`` for the columnar trace
+    data plane and sharded runner (``--keyword trace``), or
+    ``BENCH_feed.json`` for the op-array workload feed vs the generator
+    protocol (``--keyword feed``).
 ``list``
     List the available workloads and the paper's 19 configurations.
 """
@@ -100,7 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="artefact path; derived from the keyword when omitted "
         "(BENCH_dpd.json for the predictor suite, BENCH_sim.json for "
-        "--keyword sim, BENCH_trace.json for --keyword trace)",
+        "--keyword sim, BENCH_trace.json for --keyword trace, "
+        "BENCH_feed.json for --keyword feed)",
     )
     bench_cmd.add_argument("--bench-dir", type=str, default=None)
     bench_cmd.add_argument(

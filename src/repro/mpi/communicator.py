@@ -28,6 +28,18 @@ A two-rank ping-pong::
                 yield comm.recv(source=other, tag=7)
                 yield comm.send(other, nbytes=1024, tag=7)
             yield from comm.barrier()
+
+Relation to the op-array fast lane
+----------------------------------
+Everything this API produces — point-to-point operations, ``sendrecv`` and
+every collective — decomposes into a *deterministic* operation sequence for
+a given (rank, size, arguments): collective tags come from a per-communicator
+sequence counter and the algorithms branch only on rank arithmetic.  That
+determinism is what lets :mod:`repro.workloads.compile` replay a program
+once and encode the yielded operations into flat op arrays
+(:class:`repro.mpi.ops.OpArrays`).  Argument validation then happens at that
+single replay (or at yield time under the generator protocol), never per-op
+in the engine's compiled lane.
 """
 
 from __future__ import annotations

@@ -1,8 +1,11 @@
-"""Operation objects yielded by rank programs.
+"""Operation objects yielded by rank programs, and their flat array encoding.
 
-A rank program is a Python generator.  Each ``yield`` hands one of the
-operation objects below to the simulation engine, which executes it against
-the runtime transport and resumes the generator with the operation's result:
+Rank programs speak one of two protocols to the simulation engine:
+
+**Generator protocol** (the original, fully general one).  A rank program is
+a Python generator.  Each ``yield`` hands one of the operation objects below
+to the engine, which executes it against the runtime transport and resumes
+the generator with the operation's result:
 
 ===================  =======================================================
 operation            value sent back into the generator
@@ -19,6 +22,33 @@ operation            value sent back into the generator
 Applications normally do not construct these directly; they use the methods
 of :class:`repro.mpi.communicator.Communicator`, which validate arguments and
 fill in the message ``kind``.
+
+**Op-array protocol** (the fast lane).  Workloads whose communication
+schedule is statically known per rank precompile it into an
+:class:`OpArrays` — parallel typed lanes, one entry per operation, mirroring
+the flat typed event records of :mod:`repro.sim.events`:
+
+=========== ========  ===================================================
+lane        type      meaning
+=========== ========  ===================================================
+``op``      ``int``   one of the ``OP_*`` codes below
+``a``       ``int``   peer rank (sends/recvs), request count (waitall),
+                      noisy-compute flag (compute)
+``nbytes``  ``int``   message size in bytes (0 for non-message ops)
+``tag``     ``int``   message tag (0 for non-message ops)
+``seconds`` ``float`` base compute seconds (0.0 for non-compute ops)
+``kind``    ``str``   message-kind string (``None`` for non-message ops)
+=========== ========  ===================================================
+
+The engine consumes op arrays directly — one cursor advance and a few lane
+loads per operation — instead of resuming a generator, allocating an
+operation object and re-validating communicator arguments per op.  A
+:class:`CompiledProgram` wraps the (shareable, cacheable) lanes together
+with the per-run compute-noise state; see
+:mod:`repro.workloads.compile` for how schedules are compiled and cached and
+:meth:`repro.sim.engine.Simulator.run` for how the engine dispatches them.
+All arguments are validated at compile time, so lane values are trusted by
+the engine.
 """
 
 from __future__ import annotations
@@ -38,6 +68,14 @@ __all__ = [
     "WaitOp",
     "WaitallOp",
     "ComputeOp",
+    "OP_COMPUTE",
+    "OP_SEND",
+    "OP_ISEND",
+    "OP_RECV",
+    "OP_IRECV",
+    "OP_WAITALL",
+    "OpArrays",
+    "CompiledProgram",
 ]
 
 
@@ -106,3 +144,85 @@ class ComputeOp(Operation):
     """Advance the rank's local clock by ``seconds`` of computation."""
 
     seconds: float
+
+
+# ----------------------------------------------------------------------
+# Op-array encoding (the compiled fast lane)
+# ----------------------------------------------------------------------
+
+#: Advance the local clock; ``seconds`` holds the base time, ``a`` is 1 when
+#: a compute-noise factor must be drawn and applied at execution time.
+OP_COMPUTE = 0
+#: Blocking send to rank ``a`` (``nbytes``/``tag``/``kind`` lanes apply).
+OP_SEND = 1
+#: Non-blocking send to rank ``a``; the request joins the pending list.
+OP_ISEND = 2
+#: Blocking receive from rank ``a`` (or ``ANY_SOURCE``).
+OP_RECV = 3
+#: Non-blocking receive from rank ``a``; the request joins the pending list.
+OP_IRECV = 4
+#: Wait for the ``a`` outstanding pending requests (always *all* of them —
+#: the compiler rejects schedules that wait on a strict subset).
+OP_WAITALL = 5
+
+
+class OpArrays:
+    """Flat typed lanes describing one rank's precompiled schedule.
+
+    One entry per operation, in program order.  Instances are immutable once
+    built and carry no per-run state, so a schedule can be shared between
+    runs (see the cache in :mod:`repro.workloads.compile`).
+
+    Like the typed event records of :mod:`repro.sim.events`, the lanes are
+    plain Python lists rather than ``array('q')`` buffers: the engine reads
+    a handful of lane slots per simulated op, and list indexing hands back
+    the stored (shared, usually small) int objects directly where a typed
+    buffer would box a fresh int per read.
+    """
+
+    __slots__ = ("op", "a", "nbytes", "tag", "seconds", "kind")
+
+    def __init__(self) -> None:
+        self.op: list[int] = []
+        self.a: list[int] = []
+        self.nbytes: list[int] = []
+        self.tag: list[int] = []
+        self.seconds: list[float] = []
+        self.kind: list[str | None] = []
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+
+class CompiledProgram:
+    """A precompiled rank program: shared op lanes plus per-run noise state.
+
+    Returned (instead of a generator) by program factories that take the
+    fast lane; the engine recognises it in
+    :meth:`repro.sim.engine.Simulator.run` and drives the lanes directly.
+
+    Compute-noise factors are *not* baked into the lanes: they are drawn at
+    execution time from ``rng`` in blocks of ``noise_block`` — the exact
+    draw pattern of :meth:`repro.workloads.base.Workload.compute` with the
+    prefetch enabled — so a compiled run consumes the rank RNG stream
+    bit-identically to the generator path.
+    """
+
+    __slots__ = ("lanes", "rng", "sigma", "noise_block", "_noise_iter")
+
+    def __init__(self, lanes: OpArrays, rng, sigma: float, noise_block: int) -> None:
+        self.lanes = lanes
+        self.rng = rng
+        self.sigma = float(sigma)
+        self.noise_block = int(noise_block)
+        self._noise_iter = iter(())
+
+    def next_noise(self) -> float:
+        """The next compute-noise factor (block-prefetched, like compute())."""
+        try:
+            return next(self._noise_iter)
+        except StopIteration:
+            self._noise_iter = fresh = iter(
+                self.rng.lognormal_block(self.sigma, self.noise_block)
+            )
+            return next(fresh)

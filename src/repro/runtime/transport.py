@@ -7,6 +7,13 @@ resulting network traffic with :class:`repro.sim.network.NetworkModel`,
 matches messages to posted receives with MPI semantics, accounts eager-buffer
 memory, and drives the two-level tracer.
 
+Postings have two entry points per direction: the operation-object APIs
+(:meth:`Transport.post_send` / :meth:`Transport.post_recv`, used by the
+generator protocol) unpack into the scalar-argument ones
+(:meth:`Transport.post_send_values` / :meth:`Transport.post_recv_values`),
+which the engine's op-array fast lane calls directly so no per-op operation
+object ever exists on that path.
+
 Timing model
 ------------
 * Eager send: the payload is injected ``send_overhead`` after the send is
@@ -224,29 +231,46 @@ class Transport:
     # Send path
     # ------------------------------------------------------------------
     def post_send(self, rank: int, op: SendOp | IsendOp, now: float) -> Request:
-        """Execute a send posted by ``rank`` at local time ``now``."""
-        dst = op.dest
+        """Execute a send operation object posted by ``rank`` at ``now``."""
+        return self.post_send_values(
+            rank, op.dest, int(op.nbytes), op.tag, op.kind, op.payload, now
+        )
+
+    def post_send_values(
+        self,
+        rank: int,
+        dst: int,
+        nbytes: int,
+        tag: int,
+        kind: str,
+        payload: object | None,
+        now: float,
+    ) -> Request:
+        """Execute a send given as plain field values (op-array fast lane).
+
+        This is the real send path; :meth:`post_send` merely unpacks an
+        operation object into it.  Taking scalars keeps the compiled engine
+        lane free of per-op object construction.
+        """
         if not (0 <= dst < self.nprocs):
             raise ValueError(f"destination rank {dst} out of range [0, {self.nprocs})")
         if dst == rank:
             raise ValueError("self-sends are not supported by the simulated transport")
-        nbytes = int(op.nbytes)
         if nbytes < 0:
             raise ValueError(f"message size must be non-negative, got {nbytes}")
 
         pool = self._request_pool
         request = pool.pop()._reuse("send", rank) if pool else Request("send", rank)
         size_says_eager = nbytes <= self._eager_threshold
-        policy_allows = self.policy.allows_eager(rank, dst, nbytes, op.kind, now)
+        policy_allows = self.policy.allows_eager(rank, dst, nbytes, kind, now)
         use_eager = policy_allows
         forced_rendezvous = size_says_eager and not policy_allows
         eager_bypass = (not size_says_eager) and policy_allows
 
-        kind = op.kind
         protocol = "eager" if use_eager else "rendezvous"
         # Positional construction: this runs once per message.
-        message = Message(rank, dst, op.tag, nbytes, kind, protocol)
-        message.payload = op.payload
+        message = Message(rank, dst, tag, nbytes, kind, protocol)
+        message.payload = payload
         self.stats.record_send(nbytes, kind, protocol, forced_rendezvous, eager_bypass)
 
         inject = now + self._send_overhead
@@ -273,15 +297,21 @@ class Transport:
     # Receive path
     # ------------------------------------------------------------------
     def post_recv(self, rank: int, op: RecvOp | IrecvOp, now: float) -> Request:
-        """Execute a receive posted by ``rank`` at local time ``now``."""
+        """Execute a receive operation object posted by ``rank`` at ``now``."""
+        return self.post_recv_values(rank, op.source, op.tag, op.kind, now)
+
+    def post_recv_values(
+        self, rank: int, source: int, tag: int, kind: str, now: float
+    ) -> Request:
+        """Execute a receive given as plain field values (op-array fast lane)."""
         pool = self._request_pool
         request = pool.pop()._reuse("recv", rank) if pool else Request("recv", rank)
         if self._tracer_recv_posted is not None:
             self._tracer_recv_posted(rank, request.req_id, now)
         if self._policy_observes_recv:
-            self.policy.on_recv_posted(rank, op.source, op.tag, op.kind, now)
+            self.policy.on_recv_posted(rank, source, tag, kind, now)
 
-        posted = _tuple_new(PostedReceive, (request, op.source, op.tag, op.kind, now))
+        posted = _tuple_new(PostedReceive, (request, source, tag, kind, now))
         endpoint = self._endpoints[rank]
         entry = endpoint.unexpected.match(posted)
         if entry is None:

@@ -1,10 +1,19 @@
 """The discrete-event simulation engine.
 
-A *rank program* is a Python generator produced by calling a program factory
-with a :class:`repro.mpi.communicator.RankContext`.  Each value the generator
-yields is an MPI operation (:mod:`repro.mpi.ops`); the engine executes it
-against the runtime transport and resumes the generator with the operation's
-result once it completes in simulated time.
+A *rank program* is produced by calling a program factory with a
+:class:`repro.mpi.communicator.RankContext` and takes one of two forms:
+
+* a Python **generator**: each value it yields is an MPI operation
+  (:mod:`repro.mpi.ops`); the engine executes it against the runtime
+  transport and resumes the generator with the operation's result once it
+  completes in simulated time;
+* a :class:`repro.mpi.ops.CompiledProgram`: the same operation sequence
+  precompiled into flat typed op lanes (see :mod:`repro.workloads.compile`),
+  which the engine drives through :meth:`Simulator._step_compiled` — one
+  cursor advance and a few lane loads per op instead of a generator
+  resumption, an operation allocation and argument validation.  Both forms
+  produce bit-identical simulations; ranks of either form can mix freely in
+  one run.
 
 The engine owns the global event queue and each rank's local virtual clock.
 Blocking operations suspend a rank until the transport completes the
@@ -25,9 +34,10 @@ per-event allocation entirely:
   instead of closures.  Rank resumptions are ``EVENT_STEP`` records and
   payload arrivals are ``EVENT_DELIVER`` records; only rare control traffic
   (rendezvous RTS/CTS) uses the generic callback lane.
-* Operations yielded by programs are dispatched through a per-op-type
-  *handler table* (``type(op) -> bound handler``) instead of an
-  ``isinstance`` chain.
+* Operations yielded by generator programs are dispatched through a
+  per-op-type *handler table* (``type(op) -> bound handler``) instead of an
+  ``isinstance`` chain; compiled programs skip operation objects entirely
+  and decode each op from their lanes.
 * The run loop drains whole *timestamp cohorts* (streaming through an
   inlined equivalent of :meth:`repro.sim.events.EventQueue.pop_batch`) and
   coalesces consecutive deliveries bound for one receiver into a single
@@ -50,6 +60,13 @@ from typing import Callable, Generator, Sequence
 
 from repro.mpi.communicator import Communicator, RankContext
 from repro.mpi.ops import (
+    OP_COMPUTE,
+    OP_IRECV,
+    OP_ISEND,
+    OP_RECV,
+    OP_SEND,
+    OP_WAITALL,
+    CompiledProgram,
     ComputeOp,
     IrecvOp,
     IsendOp,
@@ -105,16 +122,37 @@ _FAILED = RankStatus.FAILED
 
 @dataclass(slots=True)
 class RankState:
-    """Book-keeping for one simulated rank."""
+    """Book-keeping for one simulated rank.
+
+    A rank runs in one of two modes, fixed at :meth:`Simulator.run` time:
+    the generator protocol (``generator``/``resume_fn`` set, ``compiled``
+    None) or the op-array fast lane (``compiled`` set and the ``cp_*``
+    fields holding the schedule lanes plus the execution cursor).
+    """
 
     rank: int
-    generator: Generator[Operation, object, None]
+    generator: Generator[Operation, object, None] | None
     now: float = 0.0
     status: RankStatus = RankStatus.READY
     steps: int = 0
     blocked_on: str = ""
     #: Cached ``generator.send`` bound method (set by :meth:`Simulator.run`).
     resume_fn: Callable | None = None
+    #: The rank's :class:`CompiledProgram`, or None in generator mode.
+    compiled: CompiledProgram | None = None
+    #: Next op index in the compiled lanes.
+    cp_cursor: int = 0
+    #: Requests of outstanding non-blocking compiled ops, in issue order.
+    cp_pending: list | None = None
+    # The individual schedule lanes, unpacked here so the per-op decode in
+    # ``_step_compiled`` is a single attribute load per lane.
+    cp_len: int = 0
+    cp_op: object = None
+    cp_a: object = None
+    cp_nbytes: object = None
+    cp_tag: object = None
+    cp_seconds: object = None
+    cp_kind: object = None
 
 
 @dataclass
@@ -285,13 +323,29 @@ class Simulator:
                 comm=Communicator(rank=rank, size=self.nprocs),
                 rng=SeededRNG(self.seed, "rank", rank),
             )
-            generator = factory(ctx)
-            if not hasattr(generator, "send"):
+            program = factory(ctx)
+            if isinstance(program, CompiledProgram):
+                # Op-array fast lane: unpack the schedule lanes onto the
+                # state so the per-op decode is one attribute load per lane.
+                state = RankState(rank=rank, generator=None)
+                state.compiled = program
+                lanes = program.lanes
+                state.cp_len = len(lanes.op)
+                state.cp_op = lanes.op
+                state.cp_a = lanes.a
+                state.cp_nbytes = lanes.nbytes
+                state.cp_tag = lanes.tag
+                state.cp_seconds = lanes.seconds
+                state.cp_kind = lanes.kind
+                state.cp_pending = []
+            elif hasattr(program, "send"):
+                state = RankState(rank=rank, generator=program)
+                state.resume_fn = program.send
+            else:
                 raise ProgramError(
-                    f"program factory for rank {rank} did not return a generator"
+                    f"program factory for rank {rank} returned neither a "
+                    f"generator nor a CompiledProgram: {program!r}"
                 )
-            state = RankState(rank=rank, generator=generator)
-            state.resume_fn = generator.send
             self._ranks.append(state)
 
         self._done_count = 0
@@ -348,6 +402,7 @@ class Simulator:
         deliver_burst = self.transport.deliver_burst
         max_events = self.max_events
         step = self._step
+        step_compiled = self._step_compiled
         current = self.time
         while True:
             # -- inline EventQueue.pop ---------------------------------
@@ -375,7 +430,11 @@ class Simulator:
                 )
             kind = record[EV_KIND]
             if kind == EVENT_STEP:
-                step(record[EV_A], record[EV_B])
+                state = record[EV_A]
+                if state.compiled is None:
+                    step(state, record[EV_B])
+                else:
+                    step_compiled(state)
             elif kind == EVENT_DELIVER:
                 message = record[EV_A]
                 # -- inline EventQueue.peek_record ---------------------
@@ -448,6 +507,97 @@ class Simulator:
         if handler is None:
             handler = self._resolve_handler(state, operation)
         handler(state, operation)
+
+    def _step_compiled(self, state: RankState) -> None:
+        """Execute the next op of a compiled (op-array) rank program.
+
+        One op per step event, exactly like the generator path executes one
+        yielded operation per resumption: the compiled lane changes *how* an
+        op is decoded (lane loads instead of a generator resumption, an
+        operation allocation and communicator validation), never *when* it
+        executes, so event counts, timings and transport call order — and
+        therefore all simulation outputs — are bit-identical.  Lane values
+        were validated at compile time and are trusted here.
+
+        The inlined event pushes mirror ``EventQueue.push_typed`` exactly,
+        as in the generator-path handlers above.
+        """
+        if state.status is _DONE:
+            raise SimulationError(f"rank {state.rank} stepped after completion")
+        state.steps += 1
+        i = state.cp_cursor
+        if i >= state.cp_len:
+            # Past the last op: the generator path's StopIteration.
+            state.status = _DONE
+            self._done_count += 1
+            return
+        state.cp_cursor = i + 1
+        code = state.cp_op[i]
+        # The three non-blocking op kinds fall through to one shared
+        # next-step push below; the blocking kinds return out of their
+        # branch after suspending the rank.
+        if code == OP_COMPUTE:
+            seconds = state.cp_seconds[i]
+            if state.cp_a[i]:
+                seconds *= state.compiled.next_noise()
+            state.now = time = state.now + seconds
+        elif code == OP_IRECV:
+            request = self.transport.post_recv_values(
+                state.rank, state.cp_a[i], state.cp_tag[i], state.cp_kind[i], state.now
+            )
+            state.cp_pending.append(request)
+            time = state.now
+        elif code == OP_ISEND:
+            request = self.transport.post_send_values(
+                state.rank,
+                state.cp_a[i],
+                state.cp_nbytes[i],
+                state.cp_tag[i],
+                state.cp_kind[i],
+                None,
+                state.now,
+            )
+            state.cp_pending.append(request)
+            state.now = time = state.now + self.machine.send_overhead
+        elif code == OP_WAITALL:
+            # Compiled pending requests never escape to a program, so unlike
+            # the generator path's waitall they can all be recycled.
+            requests = state.cp_pending
+            state.cp_pending = []
+            self._block_on(state, requests, _result_none, "waitall", recycle=True)
+            return
+        elif code == OP_RECV:
+            request = self.transport.post_recv_values(
+                state.rank, state.cp_a[i], state.cp_tag[i], state.cp_kind[i], state.now
+            )
+            self._block_on(state, [request], _result_none, "recv", recycle=True)
+            return
+        else:  # OP_SEND
+            request = self.transport.post_send_values(
+                state.rank,
+                state.cp_a[i],
+                state.cp_nbytes[i],
+                state.cp_tag[i],
+                state.cp_kind[i],
+                None,
+                state.now,
+            )
+            self._block_on(state, [request], _result_none, "send", recycle=True)
+            return
+        # Shared next-step push (inline of EventQueue.push_typed, as in the
+        # generator-path handlers).
+        if time < self.time:
+            time = self.time
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        record = [time, seq, EVENT_STEP, state, None, False, False]
+        queue._live += 1
+        fast = queue._fast
+        if time == queue._now and (not fast or fast[-1][EV_TIME] == time):
+            fast.append(record)
+        else:
+            _heappush(queue._heap, record)
 
     def _resolve_handler(self, state: RankState, operation) -> Callable:
         """Slow path: find (and cache) the handler for an Operation subclass."""

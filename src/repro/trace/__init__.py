@@ -13,10 +13,17 @@ scalars into typed per-rank column arrays, and named
 :class:`repro.trace.records.TraceRecord` views are materialised lazily at
 the API boundary.  Analysis code extracts per-process sender and
 message-size streams as whole NumPy columns via :mod:`repro.trace.streams`.
+
+Traces persist as the version-2 columnar JSON-lines format (one object per
+rank; the legacy version-1 per-record format is still read transparently) —
+see ``docs/formats.md`` for the on-disk specification.  Besides the
+path-based :func:`save_traces`/:func:`load_traces`, the handle-based
+:func:`save_traces_to`/:func:`load_traces_from` are exported for callers
+that stream traces through sockets, pipes or in-memory buffers.
 """
 
 from repro.trace.columns import TraceColumns
-from repro.trace.io import load_traces, save_traces
+from repro.trace.io import load_traces, load_traces_from, save_traces, save_traces_to
 from repro.trace.records import TraceRecord
 from repro.trace.streams import (
     StreamSummary,
@@ -33,7 +40,9 @@ __all__ = [
     "TraceColumns",
     "TwoLevelTracer",
     "save_traces",
+    "save_traces_to",
     "load_traces",
+    "load_traces_from",
     "ProcessTrace",
     "sender_stream",
     "size_stream",

@@ -17,6 +17,10 @@ order), with computation modelled as virtual time.
 * :mod:`repro.workloads.sweep3d` — ASCI Sweep3D, 8-octant wavefront sweeps.
 * :mod:`repro.workloads.synthetic` — synthetic streams/workloads for tests
   and ablations.
+* :mod:`repro.workloads.compile` — the op-array fast lane: statically
+  scheduled rank programs are replayed once into flat typed op lanes that
+  the engine consumes without per-op generator resumptions; dynamic
+  programs keep the generator protocol.
 """
 
 from repro.workloads.base import Workload, WorkloadDescription

@@ -1,4 +1,23 @@
-"""Base class shared by all workload skeletons."""
+"""Base class shared by all workload skeletons.
+
+A workload describes one rank program in two interchangeable forms:
+
+* :meth:`Workload.program` — the **generator protocol**: a Python generator
+  yielding :mod:`repro.mpi.ops` operations, resumed by the engine with each
+  operation's result.  This is the fully general form and the single source
+  of truth for a workload's communication schedule.
+* :meth:`Workload.compile_program` — the **op-array fast lane**: for
+  statically scheduled workloads the program is replayed once at compile
+  time (:mod:`repro.workloads.compile`) into flat typed op lanes that the
+  engine consumes without per-op generator resumption.  Simulation outputs
+  are bit-identical between the two forms; workloads whose schedule is
+  data-dependent (:attr:`Workload.compile_supported` False, direct
+  ``ctx.rng`` draws, result-dependent control flow) simply keep the
+  generator protocol.
+
+:func:`repro.workloads.runner.run_workload` prefers the fast lane and falls
+back to the generator per rank automatically.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +25,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from repro.mpi.communicator import RankContext
-from repro.mpi.ops import ComputeOp, Operation
+from repro.mpi.ops import CompiledProgram, ComputeOp, Operation
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["Workload", "WorkloadDescription"]
@@ -57,8 +76,18 @@ class Workload:
     #: ``ctx.rng`` in blocks (sequence-identical to per-call draws, but
     #: without the per-call numpy overhead).  Workload programs that draw
     #: from ``ctx.rng`` directly must set this False, otherwise the prefetch
-    #: would reorder their draws relative to the noise stream.
+    #: would reorder their draws relative to the noise stream.  The op-array
+    #: fast lane additionally requires this flag: compiled schedules draw
+    #: their noise factors in the same prefetch blocks at execution time, so
+    #: a program with interleaved direct draws cannot be compiled without
+    #: reordering its RNG stream (see :mod:`repro.workloads.compile`).
     prefetch_compute_noise: bool = True
+    #: Whether this workload's schedule may be precompiled into op arrays.
+    #: True means "attempt it" — compilation still falls back to the
+    #: generator protocol per rank if the replay finds dynamic behaviour.
+    #: Subclasses whose op sequence is data-dependent set this False to
+    #: skip the (then pointless) compile replay entirely.
+    compile_supported: bool = True
 
     #: Block size for the compute-noise prefetch.
     _NOISE_BLOCK = 128
@@ -96,6 +125,50 @@ class Workload:
         """The rank program (a generator of MPI operations)."""
         raise NotImplementedError
 
+    def compile_program(self, ctx: RankContext) -> CompiledProgram | None:
+        """This rank's schedule as a precompiled op array, if it has one.
+
+        Returns ``None`` when the rank must run under the generator
+        protocol (``compile_supported`` is False, the program draws from
+        ``ctx.rng`` outside the compute-noise prefetch, or its op sequence
+        depends on operation results).  See :mod:`repro.workloads.compile`.
+        """
+        from repro.workloads.compile import compile_program
+
+        return compile_program(self, ctx)
+
+    def program_for(self, ctx: RankContext):
+        """The fastest available program form for ``ctx``'s rank.
+
+        A :class:`CompiledProgram` when the schedule compiles, otherwise the
+        plain program generator.  This is the factory
+        :func:`repro.workloads.runner.run_workload` hands to the engine.
+        """
+        return self.compile_program(ctx) or self.program(ctx)
+
+    def schedule_cache_key(self) -> tuple | None:
+        """Hashable key identifying this instance's compiled schedule.
+
+        Two instances with equal keys must produce identical op sequences
+        for every rank; the compile cache relies on it.  The default key
+        covers the structural knobs (type, size, iterations, the base
+        compute time baked into the lanes) plus :meth:`parameters`, which by
+        contract captures every workload-specific schedule input.  Return
+        ``None`` to disable caching for this instance.
+        """
+        try:
+            params = repr(sorted(self.parameters().items()))
+        except Exception:
+            return None
+        return (
+            type(self).__module__,
+            type(self).__qualname__,
+            self.nprocs,
+            self.iterations,
+            self.compute_time,
+            params,
+        )
+
     def validate(self) -> None:
         """Check that ``nprocs`` (and other parameters) are legal."""
 
@@ -109,7 +182,16 @@ class Workload:
         return min(3, self.nprocs - 1)
 
     def parameters(self) -> dict:
-        """Extra workload-specific parameters, for documentation purposes."""
+        """Extra workload-specific parameters.
+
+        Besides feeding Table 1 and :meth:`describe`, this is part of the
+        schedule-cache contract: :meth:`schedule_cache_key` includes it, so
+        subclasses must report **every constructor knob that affects the op
+        sequence** (message sizes, patterns, block counts, ...) here —
+        omitting one lets two differently-configured instances share cached
+        op lanes.  Subclasses that cannot meet this contract should override
+        :meth:`schedule_cache_key` (returning ``None`` disables caching).
+        """
         return {}
 
     # ------------------------------------------------------------------

@@ -24,6 +24,11 @@ A process therefore receives ``6 * sqrt(P)`` point-to-point messages per
 iteration — 12, 18, 24, 30 for P = 4, 9, 16, 25 — which reproduces both the
 per-iteration periodicity the paper reports for bt.9 (period 18, Figure 1)
 and the growth of the Table 1 message counts with the process count.
+
+The exchange schedule is fully determined by the rank and the grid (the
+``sweeps`` table is built once before the iteration loop), so each rank's
+program precompiles into an op array and runs through the engine fast lane
+(:mod:`repro.workloads.compile`).
 """
 
 from __future__ import annotations

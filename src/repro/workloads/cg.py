@@ -15,7 +15,9 @@ iteration, performs
 Everything is point-to-point — the paper's Table 1 reports zero collective
 messages for CG — and only two message sizes appear (8-byte scalars and the
 vector block), with a small fixed set of partners.  That structure is what
-makes the CG streams trivially periodic.
+makes the CG streams trivially periodic — and statically schedulable: every
+rank's program precompiles into an op array for the engine fast lane
+(:mod:`repro.workloads.compile`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,359 @@
+"""Compile rank programs into flat op arrays (the workload fast lane).
+
+The generator protocol resumes a Python generator once per operation; for
+statically scheduled workloads (all of the paper's benchmarks) that
+resumption — plus the operation-object allocation and communicator argument
+validation behind it — is pure overhead repeated for every message.  This
+module removes it by *replaying* a rank program once, at compile time,
+and recording the operations it yields into the typed lanes of
+:class:`repro.mpi.ops.OpArrays`.  The engine then drives the lanes directly
+(:meth:`repro.sim.engine.Simulator._step_compiled`), falling back to the
+generator protocol for programs that stay dynamic.
+
+Deriving the schedule from the program itself (rather than from a separate
+per-skeleton emitter) makes drift between the two protocols impossible by
+construction; the equivalence property tests in
+``tests/test_workloads_oparray_equivalence.py`` assert bit-identical
+simulation outputs across the full registry under all four flow-control
+policies.
+
+What makes a program compilable
+-------------------------------
+The replay drives the generator with *inert* stand-ins — fake request
+tokens, opaque statuses, and a stub RNG whose compute-noise factors are all
+1.0 — so a program is compilable exactly when its operation sequence does
+not depend on operation results or random draws:
+
+* any RNG use other than the compute-noise prefetch
+  (:meth:`repro.workloads.base.Workload.compute` with
+  ``prefetch_compute_noise = True``) marks the program dynamic;
+* inspecting a receive status, a request, or a waitall result marks it
+  dynamic (the stand-ins raise on any interaction);
+* waiting on a strict subset of the outstanding requests marks it dynamic
+  (the op-array encoding only supports "wait for everything posted so far",
+  which is how every in-repo skeleton and collective behaves);
+* send payloads mark it dynamic (payload objects cannot live in a lane).
+
+A dynamic program is not an error: :func:`compile_program` returns ``None``
+and the caller runs the generator protocol instead.  Workloads can also opt
+out statically via :attr:`repro.workloads.base.Workload.compile_supported`.
+
+Compute-noise (RNG-ordering) caveat
+-----------------------------------
+Noise factors are *not* baked into the lanes.  The compiled executor draws
+them at execution time from the rank RNG in blocks of
+:attr:`Workload._NOISE_BLOCK`, exactly like the prefetch in
+:meth:`Workload.compute` — which is why compilation requires
+``prefetch_compute_noise = True``: under the prefetch, the rank RNG stream
+is consumed one block per 128 noisy computes with no interleaved draws, so
+the compiled and generator paths consume it bit-identically.  A workload
+that draws from ``ctx.rng`` between computes (and therefore sets the flag
+False, e.g. :class:`repro.workloads.synthetic.RandomSenderWorkload`) would
+see its draws reordered by any precompiled schedule; such workloads always
+take the generator path.
+
+Caching
+-------
+Lanes carry no per-run state, so compiled schedules are cached at module
+level keyed by :meth:`Workload.schedule_cache_key` and rank.  Re-running the
+same configuration (benchmark rounds, repeated experiment cells in one
+process) then skips the replay entirely and the fast lane's full per-op
+savings materialise; a cold run still pays one generator traversal to
+compile.  The cache is LRU-bounded and very large schedules are not
+retained.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.mpi.communicator import Communicator, RankContext
+from repro.mpi.ops import (
+    OP_COMPUTE,
+    OP_IRECV,
+    OP_ISEND,
+    OP_RECV,
+    OP_SEND,
+    OP_WAITALL,
+    CompiledProgram,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    OpArrays,
+    RecvOp,
+    SendOp,
+    WaitallOp,
+    WaitOp,
+)
+
+__all__ = ["NotCompilable", "compile_program", "compile_rank_lanes", "clear_schedule_cache"]
+
+
+class NotCompilable(Exception):
+    """Raised (internally) when a program's schedule turns out to be dynamic."""
+
+
+class _Opaque:
+    """Stand-in for a result value the compiled path will never materialise.
+
+    Any interaction means the program's control flow depends on operation
+    results, which the op-array encoding cannot express.  Comparison must be
+    refused too: real ``Status`` results compare by value, so two distinct
+    statuses handed to one program may be equal or unequal at runtime, while
+    every replayed result is this one singleton — an ``==`` branch would
+    compile into whichever arm the identity comparison happened to pick.
+    """
+
+    __slots__ = ()
+
+    def _refuse(self, *args, **kwargs):
+        raise NotCompilable("program inspects an operation result")
+
+    __getattr__ = _refuse
+    __getitem__ = _refuse
+    __iter__ = _refuse
+    __len__ = _refuse
+    __bool__ = _refuse
+    __eq__ = _refuse
+    __ne__ = _refuse
+    __hash__ = _refuse
+
+
+_OPAQUE = _Opaque()
+
+
+class _FakeRequest:
+    """Token standing in for a :class:`Request` during compile replay."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name):
+        raise NotCompilable("program inspects a request handle")
+
+
+class _CountingOnes:
+    """Iterator of 1.0 noise factors that counts how many were consumed."""
+
+    __slots__ = ("_rng", "_left")
+
+    def __init__(self, rng: "_CompileRNG", n: int) -> None:
+        self._rng = rng
+        self._left = n
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> float:
+        if self._left <= 0:
+            raise StopIteration
+        self._left -= 1
+        self._rng.noise_draws += 1
+        return 1.0
+
+
+class _CompileRNG:
+    """RNG stub handed to programs during compile replay.
+
+    Only the compute-noise prefetch (:meth:`lognormal_block`) is allowed; it
+    yields unit factors while counting consumption, so the compiler can tag
+    each :class:`ComputeOp` that needs a real factor drawn at execution
+    time.  Every other draw makes the schedule data-dependent.
+    """
+
+    __slots__ = ("noise_draws",)
+
+    def __init__(self) -> None:
+        self.noise_draws = 0
+
+    def lognormal_block(self, sigma: float, n: int) -> _CountingOnes:
+        return _CountingOnes(self, n)
+
+    def __getattr__(self, name):
+        raise NotCompilable(f"program draws from ctx.rng ({name}) outside the noise prefetch")
+
+
+def compile_rank_lanes(workload, rank: int) -> OpArrays | None:
+    """Replay ``workload``'s program for ``rank`` into op lanes.
+
+    Returns ``None`` when the program is dynamic (see the module docstring
+    for what that means); genuine program errors — bad arguments caught by
+    the communicator, exceptions in the program body — propagate, exactly as
+    they would when the generator path first resumed the program.
+    """
+    rng = _CompileRNG()
+    ctx = RankContext(
+        rank=rank,
+        size=workload.nprocs,
+        comm=Communicator(rank=rank, size=workload.nprocs),
+        rng=rng,
+    )
+    generator = workload.program(ctx)
+    if not hasattr(generator, "send"):
+        return None
+    lanes = OpArrays()
+    # The replay costs one generator traversal per cold compile; bound lane
+    # appends keep that traversal close to the raw resumption cost.
+    op_lane = lanes.op.append
+    a_lane = lanes.a.append
+    nbytes_lane = lanes.nbytes.append
+    tag_lane = lanes.tag.append
+    seconds_lane = lanes.seconds.append
+    kind_lane = lanes.kind.append
+    resume = generator.send
+    pending: list[_FakeRequest] = []
+    value = None
+    draws_seen = 0
+    try:
+        while True:
+            try:
+                operation = resume(value)
+            except StopIteration:
+                break
+            noise_used = rng.noise_draws - draws_seen
+            draws_seen = rng.noise_draws
+            cls = operation.__class__
+            value = None
+            if cls is ComputeOp:
+                seconds = operation.seconds
+                if noise_used > 1 or seconds < 0:
+                    raise NotCompilable("irregular compute op")
+                op_lane(OP_COMPUTE)
+                a_lane(noise_used)
+                nbytes_lane(0)
+                tag_lane(0)
+                seconds_lane(seconds)
+                kind_lane(None)
+            elif noise_used:
+                raise NotCompilable("noise factor consumed outside a compute op")
+            elif cls is IsendOp or cls is SendOp:
+                if operation.payload is not None:
+                    raise NotCompilable("send payloads are dynamic")
+                op_lane(OP_ISEND if cls is IsendOp else OP_SEND)
+                a_lane(operation.dest)
+                nbytes_lane(int(operation.nbytes))
+                tag_lane(operation.tag)
+                seconds_lane(0.0)
+                kind_lane(operation.kind)
+                if cls is IsendOp:
+                    value = _FakeRequest()
+                    pending.append(value)
+            elif cls is IrecvOp or cls is RecvOp:
+                op_lane(OP_IRECV if cls is IrecvOp else OP_RECV)
+                a_lane(operation.source)
+                nbytes_lane(0)
+                tag_lane(operation.tag)
+                seconds_lane(0.0)
+                kind_lane(operation.kind)
+                if cls is IrecvOp:
+                    value = _FakeRequest()
+                    pending.append(value)
+                else:
+                    value = _OPAQUE
+            elif cls is WaitallOp:
+                requests = list(operation.requests)
+                if len(requests) != len(pending) or set(map(id, requests)) != set(
+                    map(id, pending)
+                ):
+                    raise NotCompilable("waitall on a strict subset of pending requests")
+                op_lane(OP_WAITALL)
+                a_lane(len(requests))
+                nbytes_lane(0)
+                tag_lane(0)
+                seconds_lane(0.0)
+                kind_lane(None)
+                pending.clear()
+                value = _OPAQUE
+            elif cls is WaitOp:
+                if len(pending) != 1 or operation.request is not pending[0]:
+                    raise NotCompilable("wait on a strict subset of pending requests")
+                op_lane(OP_WAITALL)
+                a_lane(1)
+                nbytes_lane(0)
+                tag_lane(0)
+                seconds_lane(0.0)
+                kind_lane(None)
+                pending.clear()
+                value = _OPAQUE
+            else:
+                raise NotCompilable(f"unsupported operation type {cls.__name__}")
+    except NotCompilable:
+        return None
+    finally:
+        generator.close()
+    if pending:
+        # Requests leaked past program end; the generator path would leave
+        # them dangling too, but the encoding has no way to express it.
+        return None
+    return lanes
+
+
+# ----------------------------------------------------------------------
+# Schedule cache
+# ----------------------------------------------------------------------
+
+#: Most-recently-used workload schedules kept alive (one entry covers every
+#: compiled rank of one workload configuration).
+_CACHE_MAX_KEYS = 16
+#: Aggregate budget of cached lane entries across the whole cache (~2M ops,
+#: on the order of 100 MB of lane slots worst case).  Least-recently-used
+#: configurations are evicted once the budget is crossed, so one
+#: full-scale-lu-sized configuration (~10^5 ops per rank across 32 ranks)
+#: fits while a cache full of them cannot accumulate; a single rank schedule
+#: bigger than the whole budget is never cached at all.
+_CACHE_MAX_OPS = 1 << 21
+
+_cache: OrderedDict[tuple, dict[int, OpArrays | None]] = OrderedDict()
+
+
+def clear_schedule_cache() -> None:
+    """Drop every cached schedule (tests and memory-sensitive callers)."""
+    _cache.clear()
+
+
+def _cached_ops_total() -> int:
+    """Total lane entries currently held by the cache (cheap: <= 16 keys)."""
+    return sum(
+        len(lanes)
+        for per_rank in _cache.values()
+        for lanes in per_rank.values()
+        if lanes is not None
+    )
+
+
+def compile_program(workload, ctx: RankContext) -> CompiledProgram | None:
+    """Compile (or fetch from cache) ``ctx.rank``'s schedule of ``workload``.
+
+    Returns a :class:`CompiledProgram` bound to ``ctx.rng``, or ``None`` when
+    the rank program must run under the generator protocol.
+    """
+    if not workload.compile_supported or not workload.prefetch_compute_noise:
+        return None
+    key = workload.schedule_cache_key()
+    if key is None:
+        lanes = compile_rank_lanes(workload, ctx.rank)
+    else:
+        per_rank = _cache.get(key)
+        if per_rank is None:
+            per_rank = {}
+        else:
+            _cache.move_to_end(key)
+        if ctx.rank in per_rank:
+            lanes = per_rank[ctx.rank]
+        else:
+            lanes = compile_rank_lanes(workload, ctx.rank)
+            if lanes is None or len(lanes) <= _CACHE_MAX_OPS:
+                per_rank[ctx.rank] = lanes
+                _cache[key] = per_rank
+                _cache.move_to_end(key)
+                while len(_cache) > _CACHE_MAX_KEYS or (
+                    len(_cache) > 1 and _cached_ops_total() > _CACHE_MAX_OPS
+                ):
+                    _cache.popitem(last=False)
+    if lanes is None:
+        return None
+    return CompiledProgram(
+        lanes,
+        rng=ctx.rng,
+        sigma=workload.compute_noise,
+        noise_block=workload._NOISE_BLOCK,
+    )

@@ -17,6 +17,12 @@ This collective fan-in is what makes IS the hardest case for physical-level
 prediction in the paper (Figure 4): the *logical* order in which the library
 receives the per-peer blocks of an alltoall is deterministic, but the
 *physical* arrival order under heavy fan-in is essentially random.
+
+Even though its traffic is collective-dominated, the schedule itself is
+static — the collectives decompose into fixed pairwise exchanges with
+deterministic tags — so IS compiles into op arrays like the point-to-point
+skeletons (:mod:`repro.workloads.compile`); only the physical *arrival*
+order stays noisy.
 """
 
 from __future__ import annotations

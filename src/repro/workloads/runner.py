@@ -26,6 +26,7 @@ def run_workload(
     policy=None,
     tracer: TwoLevelTracer | bool | None = True,
     max_events: int | None = None,
+    compiled: bool = True,
 ) -> SimulationResult:
     """Run ``workload`` and return the simulation result.
 
@@ -47,6 +48,13 @@ def run_workload(
         disables tracing; an explicit :class:`TwoLevelTracer` is used as-is.
     max_events:
         Optional safety bound on the number of simulation events.
+    compiled:
+        ``True`` (default) runs each rank through the op-array fast lane
+        when its schedule compiles (:mod:`repro.workloads.compile`), falling
+        back to the generator protocol per rank otherwise.  ``False`` forces
+        the generator protocol for every rank.  Simulation outputs are
+        bit-identical either way; the flag exists for benchmarks and the
+        equivalence tests.
     """
     if network is None:
         network = NetworkConfig(seed=seed)
@@ -59,4 +67,5 @@ def run_workload(
         seed=seed,
         max_events=max_events,
     )
-    return simulator.run([workload.program])
+    factory = workload.program_for if compiled else workload.program
+    return simulator.run([factory])

@@ -13,6 +13,10 @@ For a corner process this yields ``8 octants x k-blocks`` receives per time
 step from exactly two senders with two message sizes — the structure behind
 the sw rows of Table 1 and the high physical-level predictability the paper
 reports for Sweep3D.
+
+The octant table and grid neighbours fix each rank's schedule completely, so
+the program precompiles into an op array for the engine fast lane
+(:mod:`repro.workloads.compile`).
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ the simulator and the predictor in isolation:
   pins down the predictor's behaviour on noise.
 * :class:`CollectiveStormWorkload` — repeated alltoall/allreduce fan-in used
   by the flow-control and credit experiments.
+
+All of these except :class:`RandomSenderWorkload` have statically known
+per-rank schedules and run through the op-array fast lane
+(:mod:`repro.workloads.compile`); random-sender's op sequence depends on its
+RNG draws, so it opts out (``compile_supported = False``) and doubles as the
+reference dynamic workload in the fallback and mixed-registry tests.
 """
 
 from __future__ import annotations
@@ -135,6 +141,11 @@ class RandomSenderWorkload(Workload):
     #: The program draws gaps and sizes from ctx.rng between compute phases,
     #: so the compute-noise prefetch would reorder its stream.
     prefetch_compute_noise = False
+    #: Its op sequence is data-dependent for the same reason, so the op-array
+    #: compiler could never encode it: skip the compile replay and run every
+    #: rank under the generator protocol (the repo's reference *dynamic*
+    #: workload, exercised by the fallback tests).
+    compile_supported = False
 
     def __init__(self, nprocs: int, messages_per_rank: int = 20, **kwargs) -> None:
         if messages_per_rank <= 0:
