@@ -20,6 +20,7 @@ import pytest
 from repro.core.dpd import DynamicPeriodicityDetector
 from repro.core.evaluation import evaluate_stream
 from repro.core.predictor import PeriodicityPredictor
+from repro.scenario import Scenario, ScenarioSpec
 from repro.sim.engine import Simulator
 from repro.sim.network import NetworkConfig
 from repro.workloads.registry import create_workload
@@ -208,10 +209,10 @@ class TestSimulatorMicrobenchmarks:
 
     def test_bench_bt9_simulation(self, benchmark):
         """End-to-end simulation throughput of a small BT run."""
+        spec = ScenarioSpec(workload="bt.9:scale=0.05", seed=1)
 
         def simulate():
-            workload = create_workload("bt", nprocs=9, scale=0.05)
-            return run_workload(workload, seed=1)
+            return Scenario(spec).run().result
 
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.messages_sent > 0
@@ -445,6 +446,13 @@ def _feed_workload():
     return create_workload("bt", nprocs=9, scale=0.05)
 
 
+def _feed_run(compiled: bool):
+    """One bt9 feed run through the scenario front door."""
+    return Scenario(
+        ScenarioSpec(workload="bt.9:scale=0.05", seed=1, compiled=compiled)
+    ).run().result
+
+
 def _feed_fingerprint(result):
     traces = []
     for rank in range(result.nprocs):
@@ -477,8 +485,8 @@ class TestFeedMicrobenchmarks:
         Asserts first that the fast lane is bit-identical to the generator
         path and beats it end to end (interleaved best-of-N so load spikes
         hit both paths), then benchmarks the compiled path."""
-        generator_result = run_workload(_feed_workload(), seed=1, compiled=False)
-        compiled_result = run_workload(_feed_workload(), seed=1, compiled=True)
+        generator_result = _feed_run(compiled=False)
+        compiled_result = _feed_run(compiled=True)
         assert _feed_fingerprint(compiled_result) == _feed_fingerprint(generator_result)
 
         # Interleaved best-of-N so a load spike on a shared runner hits both
@@ -489,12 +497,8 @@ class TestFeedMicrobenchmarks:
         # the actual ratio either way, and CI asserts its presence.
         compiled_times, generator_times = [], []
         for _ in range(5):
-            compiled_times.append(
-                _timed(lambda: run_workload(_feed_workload(), seed=1, compiled=True))
-            )
-            generator_times.append(
-                _timed(lambda: run_workload(_feed_workload(), seed=1, compiled=False))
-            )
+            compiled_times.append(_timed(lambda: _feed_run(compiled=True)))
+            generator_times.append(_timed(lambda: _feed_run(compiled=False)))
         compiled_best = min(compiled_times)
         generator_best = min(generator_times)
         if not os.environ.get("CI"):
@@ -505,7 +509,7 @@ class TestFeedMicrobenchmarks:
             )
 
         def simulate():
-            return run_workload(_feed_workload(), seed=1, compiled=True)
+            return _feed_run(compiled=True)
 
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.messages_sent > 0
@@ -514,7 +518,7 @@ class TestFeedMicrobenchmarks:
         """Reference cost of the same bt9 run under the generator protocol."""
 
         def simulate():
-            return run_workload(_feed_workload(), seed=1, compiled=False)
+            return _feed_run(compiled=False)
 
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.messages_sent > 0

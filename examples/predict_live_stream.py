@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import NetworkConfig, create_workload, run_workload
+from repro import Scenario
 from repro.predictive import OnlineMessagePredictor
 
 
@@ -36,13 +36,12 @@ def main(argv: list[str] | None = None) -> None:
     args = parser.parse_args(argv)
 
     # Simulate Sweep3D on 16 processes and take the stream of process 0.
-    workload = create_workload("sweep3d", nprocs=16, scale=args.scale)
-    result = run_workload(workload, seed=11, network=NetworkConfig(seed=11))
-    rank = workload.representative_rank()
-    records = result.trace_for(rank).physical
+    result = Scenario({"workload": f"sw.16:scale={args.scale}", "seed": 11}).run()
+    rank = result.representative_rank
+    records = result.records("physical")
     print(f"replaying {len(records)} messages received by process {rank} of sw.16\n")
 
-    predictor = OnlineMessagePredictor(nprocs=workload.nprocs, horizon=5)
+    predictor = OnlineMessagePredictor(nprocs=result.workload.nprocs, horizon=5)
     checkpoints = {50, 200, 500, len(records) - 1}
     correct_next_sender = 0
     evaluated = 0

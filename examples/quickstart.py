@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: simulate an MPI application and predict its message stream.
 
-This example walks the full pipeline of the library in a couple of minutes:
+This example walks the full pipeline of the library in a couple of minutes,
+through the declarative scenario API (docs/scenarios.md):
 
-1. build a communication skeleton of NAS BT on 9 simulated processes,
+1. describe a scenario: the communication skeleton of NAS BT on 9 simulated
+   processes, the standard jittered network, the paper's predictor,
 2. run it on the discrete-event MPI runtime simulator,
-3. extract the stream of (sender, size) pairs received by process 3 at the
+3. read the stream of (sender, size) pairs received by process 3 at the
    logical and physical level (the paper's two instrumentation points),
-4. run the paper's periodicity-based predictor over both streams and report
-   the accuracy of predicting the next five senders and sizes.
+4. evaluate the paper's periodicity-based predictor over both streams and
+   report the accuracy of predicting the next five senders and sizes.
 
 Run with::
 
@@ -22,15 +24,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import NetworkConfig, PeriodicityPredictor, create_workload, run_workload
-from repro.core import evaluate_stream
-from repro.trace import sender_stream, size_stream, summarize_stream
+from repro import Scenario, ScenarioSpec
 from repro.util.text import ascii_bar_chart
-
-
-def predictor_factory() -> PeriodicityPredictor:
-    """The paper's predictor: DPD with a short window, generous period range."""
-    return PeriodicityPredictor(window_size=24, max_period=256)
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -43,39 +38,38 @@ def main(argv: list[str] | None = None) -> None:
     )
     args = parser.parse_args(argv)
 
-    # 1. Build the workload skeleton: NAS BT, 9 processes, ~20% of the class A
+    # 1. Describe the scenario: NAS BT, 9 processes, ~20% of the class A
     #    iteration count (by default) so the example runs in a few seconds.
-    workload = create_workload("bt", nprocs=9, scale=args.scale)
-    print(f"workload: {workload!r}")
+    #    The predictor spec defaults to the paper's configuration (DPD with
+    #    window 24, max period 256, horizon 5).
+    spec = ScenarioSpec(workload=f"bt.9:scale={args.scale}", seed=7)
+    print(f"scenario: {spec.label} (seed {spec.seed})")
 
     # 2. Run it on the simulated MPI runtime (seeded => fully reproducible).
-    result = run_workload(workload, seed=7, network=NetworkConfig(seed=7))
+    result = Scenario(spec).run()
     print(
         f"simulated {result.stats.messages_sent} messages "
         f"({result.stats.eager_messages} eager / {result.stats.rendezvous_messages} rendezvous) "
         f"in {result.makespan * 1e3:.2f} simulated ms"
     )
 
-    # 3. Extract the message streams received by process 3 (the process the
-    #    paper's Figure 1 uses).
-    rank = workload.representative_rank()
-    trace = result.trace_for(rank)
-    print(f"\nprocess {rank} received {len(trace.logical)} messages")
-    summary = summarize_stream(trace.logical)
+    # 3. Read the message streams received by process 3 (the process the
+    #    paper's Figure 1 uses — the spec's representative rank for BT).
+    rank = result.representative_rank
+    print(f"\nprocess {rank} received {len(result.stream('sender'))} messages")
+    summary = result.summary()
     print(
         f"  distinct senders: {summary.num_distinct_senders}, "
         f"distinct sizes: {summary.num_distinct_sizes}, "
         f"p2p: {summary.p2p_messages}, collective: {summary.collective_messages}"
     )
 
-    # 4. Predict the next five senders / sizes at every position of the stream
-    #    and report per-horizon accuracy, at both trace levels.
+    # 4. Predict the next five senders / sizes at every position of the
+    #    stream and report per-horizon accuracy, at both trace levels.
     print()
-    for level, records in (("logical", trace.logical), ("physical", trace.physical)):
-        senders = sender_stream(records)
-        sizes = size_stream(records)
-        sender_acc = evaluate_stream(senders, predictor_factory, horizon=5)
-        size_acc = evaluate_stream(sizes, predictor_factory, horizon=5)
+    for level in ("logical", "physical"):
+        sender_acc = result.predict("sender", level=level)
+        size_acc = result.predict("size", level=level)
         bars = {
             f"{level} sender +{k}": 100.0 * sender_acc.accuracy(k) for k in range(1, 6)
         }

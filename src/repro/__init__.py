@@ -18,23 +18,23 @@ The package is organised bottom-up:
   detector (DPD), the multi-step message predictor, baseline predictors and
   the accuracy evaluation harness.
 * :mod:`repro.predictive` — the Section 2 prediction-driven runtime policies
-  (buffer management, credits, rendezvous bypass).
+  (buffer management, credits, rendezvous bypass) and the policy/predictor
+  registries.
+* :mod:`repro.scenario` — the declarative front door: ``ScenarioSpec`` trees
+  (Python / dicts / TOML / string shorthand), the ``Scenario`` run facade,
+  and the ``Sweep`` expansion + sharded-execution engine.
 * :mod:`repro.analysis` — regeneration of Table 1 and Figures 1-4, the
   extension experiments and the ablations.
 
 Quickstart
 ----------
->>> from repro import PeriodicityPredictor, create_workload, run_workload
->>> from repro.trace import sender_stream
->>> from repro.core import evaluate_stream
->>> workload = create_workload("bt", nprocs=9, scale=0.2)
->>> result = run_workload(workload, seed=7)
->>> stream = sender_stream(result.trace_for(3).logical)
->>> accuracy = evaluate_stream(
-...     stream, lambda: PeriodicityPredictor(window_size=24, max_period=256), horizon=5
-... )
->>> accuracy.accuracy(1) > 0.9
+>>> from repro import Scenario
+>>> result = Scenario({"workload": "bt.9:scale=0.2", "seed": 7}).run()
+>>> result.predict("sender").accuracy(1) > 0.9
 True
+
+(`run_workload` remains available as a compatibility shim over the same
+machinery; see :mod:`repro.workloads.runner`.)
 """
 
 from repro.core.baselines import (
@@ -47,6 +47,19 @@ from repro.core.baselines import (
 from repro.core.dpd import DynamicPeriodicityDetector
 from repro.core.evaluation import evaluate_stream, evaluate_unordered
 from repro.core.predictor import PeriodicityPredictor
+from repro.scenario import (
+    MachineSpec,
+    NetworkSpec,
+    PolicySpec,
+    PredictorSpec,
+    Scenario,
+    ScenarioResult,
+    ScenarioSpec,
+    Sweep,
+    TraceSpec,
+    WorkloadSpec,
+    load_sweep,
+)
 from repro.sim.engine import SimulationResult, Simulator
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkConfig, NetworkModel
@@ -70,6 +83,18 @@ __all__ = [
     "run_workload",
     "workload_names",
     "paper_configurations",
+    # declarative scenario API
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "MachineSpec",
+    "NetworkSpec",
+    "PolicySpec",
+    "PredictorSpec",
+    "TraceSpec",
+    "Sweep",
+    "load_sweep",
     # predictor (the paper's contribution)
     "DynamicPeriodicityDetector",
     "PeriodicityPredictor",

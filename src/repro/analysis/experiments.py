@@ -1,28 +1,81 @@
 """Experiment context: memoised simulation runs for the paper's configurations.
 
-Every cell of the paper's evaluation (one workload at one process count) is
-an independent simulation, so the context can *shard* them over worker
-processes: :meth:`ExperimentContext.run_all` with ``jobs > 1`` fans the
-uncached cells out over a :class:`concurrent.futures.ProcessPoolExecutor`
-and merges the returned results back into the cache in configuration order.
-Each worker runs the exact same (workload, seed, network) recipe a
-sequential run would, so the merged results — traces, statistics, makespans —
-are bit-identical to a sequential :meth:`run_all`; only the wall-clock time
-changes.
+The 19 cells of the paper's evaluation (one workload at one process count)
+are expressed as a canonical :class:`~repro.scenario.sweep.Sweep` of
+:class:`~repro.scenario.spec.ScenarioSpec` cells — the same declarative form
+any user sweep takes — and run through the scenario engine.  The context adds
+what the analysis layer needs on top: per-cell memoisation (Table 1 and every
+figure read the same runs) and the :class:`ExperimentRun` accessors.
+
+Every cell is an independent simulation, so :meth:`ExperimentContext.run_all`
+with ``jobs > 1`` shards the uncached cells over a process pool via
+:meth:`Sweep.run_all`.  Each worker runs the exact same (workload, seed,
+network) recipe a sequential run would, so the merged results — traces,
+statistics, makespans — are bit-identical to a sequential :meth:`run_all`;
+only the wall-clock time changes.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.scenario.scenario import Scenario
+from repro.scenario.spec import NetworkSpec, ScenarioSpec, WorkloadSpec
+from repro.scenario.sweep import Sweep
 from repro.sim.engine import SimulationResult
 from repro.sim.network import NetworkConfig
 from repro.workloads.base import Workload
-from repro.workloads.registry import PaperConfiguration, create_workload, paper_configurations
-from repro.workloads.runner import run_workload
+from repro.workloads.registry import PaperConfiguration, paper_configurations
 
-__all__ = ["ExperimentRun", "ExperimentContext"]
+__all__ = [
+    "ExperimentRun",
+    "ExperimentContext",
+    "configuration_spec",
+    "paper_sweep",
+]
+
+
+def configuration_spec(
+    configuration: PaperConfiguration,
+    seed: int = 2003,
+    network: NetworkConfig | None = None,
+) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` of one paper configuration cell.
+
+    This is *the* recipe of the paper's evaluation: the registry workload at
+    the cell's process count and scale, default machine, and the standard
+    jittered network deriving its seed from the experiment seed (unless a
+    network configuration is passed, e.g. by the jitter ablations).
+    """
+    return ScenarioSpec(
+        workload=WorkloadSpec(
+            name=configuration.workload,
+            nprocs=configuration.nprocs,
+            scale=configuration.scale,
+        ),
+        seed=seed,
+        network=NetworkSpec() if network is None else NetworkSpec.from_config(network),
+        name=configuration.label,
+    )
+
+
+def paper_sweep(
+    seed: int = 2003,
+    scale: float | None = None,
+    network: NetworkConfig | None = None,
+) -> Sweep:
+    """The paper's full 19-cell evaluation as a canonical :class:`Sweep`.
+
+    ``Sweep.run_all()`` over this is bit-identical to
+    :meth:`ExperimentContext.run_all` (which delegates to the same cells).
+    """
+    return Sweep(
+        cells=[
+            configuration_spec(configuration, seed=seed, network=network)
+            for configuration in paper_configurations(scale=scale)
+        ],
+        name="paper-table1",
+    )
 
 
 @dataclass(frozen=True)
@@ -57,19 +110,17 @@ def _run_configuration_cell(
     seed: int,
     network: NetworkConfig | None,
 ) -> tuple[Workload, SimulationResult]:
-    """Simulate one configuration cell (process-pool worker entry point).
+    """Simulate one configuration cell through the scenario engine.
 
-    Module-level so it is picklable; sequential and sharded runs share this
-    exact recipe, which is what makes sharded results bit-identical to
-    sequential ones.  Returns the workload instance that actually ran
-    together with its result.
+    Sequential and sharded runs share this exact recipe (it is the same
+    :func:`configuration_spec` the sweep cells are made of), which is what
+    makes sharded results bit-identical to sequential ones.  Returns the
+    workload instance that actually ran together with its result.
     """
-    workload = create_workload(
-        configuration.workload, configuration.nprocs, scale=configuration.scale
-    )
-    if network is None:
-        network = NetworkConfig(seed=seed)
-    return workload, run_workload(workload, seed=seed, network=network)
+    scenario_result = Scenario(
+        configuration_spec(configuration, seed=seed, network=network)
+    ).run()
+    return scenario_result.workload, scenario_result.result
 
 
 @dataclass
@@ -99,6 +150,14 @@ class ExperimentContext:
     def configurations(self) -> list[PaperConfiguration]:
         """The 19 paper configurations at this context's scale."""
         return paper_configurations(scale=self.scale)
+
+    def spec_for(self, configuration: PaperConfiguration) -> ScenarioSpec:
+        """The scenario spec this context would run for ``configuration``."""
+        return configuration_spec(configuration, seed=self.seed, network=self.network)
+
+    def sweep(self) -> Sweep:
+        """This context's 19 cells as a canonical :class:`Sweep`."""
+        return paper_sweep(seed=self.seed, scale=self.scale, network=self.network)
 
     def run(self, configuration: PaperConfiguration) -> ExperimentRun:
         """Run (or fetch from cache) one configuration."""
@@ -137,9 +196,10 @@ class ExperimentContext:
         jobs:
             ``None`` or ``1`` runs the cells sequentially in this process.
             ``jobs > 1`` shards the *uncached* cells over a process pool of
-            that many workers; results are merged back into the cache in
-            configuration order and are bit-identical to a sequential run
-            (each cell derives all its randomness from the context seed).
+            that many workers (via :meth:`Sweep.run_all`); results are merged
+            back into the cache in configuration order and are bit-identical
+            to a sequential run (each cell derives all its randomness from
+            the context seed).
         """
         configurations = self.configurations()
         if jobs is not None and jobs > 1:
@@ -149,27 +209,12 @@ class ExperimentContext:
                 if (configuration.workload, configuration.nprocs) not in self._cache
             ]
             if pending:
-                # Longest-expected-first submission packs the pool better (the
-                # LU cells dominate the critical path: ~10x the per-scale
-                # message volume of the other applications); the merge below
-                # stays in configuration order either way.
-                by_cost = sorted(
-                    pending,
-                    key=lambda c: c.nprocs * c.scale * (10.0 if c.workload == "lu" else 1.0),
-                    reverse=True,
+                sweep = Sweep(
+                    cells=[self.spec_for(configuration) for configuration in pending],
+                    name="paper-table1-pending",
                 )
-                with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                    futures = {
-                        configuration: pool.submit(
-                            _run_configuration_cell, configuration, self.seed, self.network
-                        )
-                        for configuration in by_cost
-                    }
-                    # Merge deterministically, in configuration order,
-                    # regardless of which worker finished first.
-                    for configuration in pending:
-                        workload, result = futures[configuration].result()
-                        self._admit(configuration, workload, result)
+                for configuration, cell in zip(pending, sweep.run_all(jobs=jobs)):
+                    self._admit(configuration, cell.workload, cell.result)
         return [self.run(configuration) for configuration in configurations]
 
     def clear(self) -> None:

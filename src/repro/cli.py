@@ -3,8 +3,13 @@
 Commands
 --------
 ``run``
-    Simulate one workload configuration, print runtime statistics and
-    optionally save the two-level traces to a JSON-lines file.
+    Simulate one scenario (workload + optional policy/jitter overrides),
+    print runtime statistics and optionally save the two-level traces to a
+    JSON-lines file.
+``sweep``
+    Expand a declarative sweep spec (TOML) into scenario cells, run them —
+    optionally sharded over worker processes — and print/write the per-cell
+    results.  See :mod:`repro.scenario.sweep` for the spec schema.
 ``predict``
     Load a saved trace file (or simulate on the fly) and evaluate the
     paper's predictor on the sender/size streams of one rank.
@@ -22,25 +27,39 @@ Commands
     ``BENCH_feed.json`` for the op-array workload feed vs the generator
     protocol (``--keyword feed``).
 ``list``
-    List the available workloads and the paper's 19 configurations.
+    List the available workloads, paper configurations and registered
+    scenario components; ``--json`` emits the same machine-readably (feeds
+    sweep-spec authoring and tooling).
+
+Every simulating command builds a :class:`repro.scenario.ScenarioSpec` and
+runs it through :class:`repro.scenario.Scenario` — the CLI is a thin veneer
+over the same declarative API library users call.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.experiments import ExperimentContext
 from repro.analysis.report import build_report
 from repro.analysis.table1 import build_table1, render_table1
 from repro.core.evaluation import evaluate_stream
-from repro.core.predictor import PeriodicityPredictor
-from repro.sim.network import NetworkConfig
-from repro.trace.io import load_traces, save_traces
-from repro.trace.streams import sender_stream, size_stream, summarize_stream
+from repro.predictive.registry import POLICIES, PREDICTORS
+from repro.scenario import (
+    PredictorSpec,
+    Scenario,
+    ScenarioSpec,
+    WorkloadSpec,
+    load_sweep,
+)
+from repro.sim.registry import MACHINE_PRESETS, NETWORK_PRESETS
+from repro.trace.io import load_traces
+from repro.trace.streams import sender_stream, size_stream
 from repro.util.text import ascii_table
-from repro.workloads.registry import create_workload, paper_configurations, workload_names
-from repro.workloads.runner import run_workload
+from repro.workloads.registry import paper_configurations, workload_names
 
 __all__ = ["main", "build_parser"]
 
@@ -53,13 +72,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_cmd = sub.add_parser("run", help="simulate one workload configuration")
+    run_cmd = sub.add_parser("run", help="simulate one scenario")
     run_cmd.add_argument("workload", choices=workload_names())
     run_cmd.add_argument("--nprocs", type=int, required=True)
     run_cmd.add_argument("--scale", type=float, default=1.0)
     run_cmd.add_argument("--seed", type=int, default=2003)
     run_cmd.add_argument("--jitter", type=float, default=None, help="network jitter sigma override")
+    run_cmd.add_argument(
+        "--policy",
+        type=str,
+        default=None,
+        metavar="KIND[:k=v,...]",
+        help="flow-control policy shorthand, e.g. 'credit:horizon=5' "
+        "(default: standard; see 'repro list')",
+    )
     run_cmd.add_argument("--save-traces", type=str, default=None, metavar="FILE")
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a declarative scenario sweep from a TOML spec"
+    )
+    sweep_cmd.add_argument("spec", metavar="SPEC.toml", help="sweep (or single-scenario) TOML file")
+    sweep_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard the cells over N worker processes (bit-identical to "
+        "sequential; default: in-process)",
+    )
+    sweep_cmd.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write summary.json (and, with --save-traces, per-cell trace "
+        "files) into DIR",
+    )
+    sweep_cmd.add_argument(
+        "--save-traces",
+        action="store_true",
+        help="with --out: save each cell's two-level traces as <cell>.traces.jsonl",
+    )
 
     predict_cmd = sub.add_parser("predict", help="evaluate the predictor on a stream")
     predict_cmd.add_argument("--traces", type=str, default=None, help="trace file from 'run --save-traces'")
@@ -113,41 +165,131 @@ def build_parser() -> argparse.ArgumentParser:
         help="pytest -k selector; e.g. 'sim' runs the simulation-engine suite",
     )
 
-    sub.add_parser("list", help="list workloads and paper configurations")
+    list_cmd = sub.add_parser(
+        "list", help="list workloads, paper configurations and scenario components"
+    )
+    list_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registries machine-readably (for sweep authoring/tooling)",
+    )
     return parser
 
 
 def _cmd_run(args) -> int:
-    workload = create_workload(args.workload, nprocs=args.nprocs, scale=args.scale)
-    network = NetworkConfig(seed=args.seed)
-    if args.jitter is not None:
-        network = network.with_overrides(jitter_sigma=args.jitter)
-    result = run_workload(workload, seed=args.seed, network=network)
-    summary = result.stats.summary()
+    spec = ScenarioSpec(
+        workload=WorkloadSpec(name=args.workload, nprocs=args.nprocs, scale=args.scale),
+        seed=args.seed,
+        network={"overrides": {"jitter_sigma": args.jitter}} if args.jitter is not None else None,
+        policy=args.policy,
+    )
+    scenario_result = Scenario(spec).run()
+    workload = scenario_result.workload
+    summary = scenario_result.stats.summary()
     print(ascii_table(["metric", "value"], sorted(summary.items()), title=f"{workload!r}"))
-    rank = workload.representative_rank()
-    stream_summary = summarize_stream(result.trace_for(rank).logical)
+    rank = scenario_result.representative_rank
+    stream_summary = scenario_result.summary(level="logical", rank=rank)
     print(
         f"\nrepresentative rank {rank}: {stream_summary.total_messages} messages, "
         f"{stream_summary.num_distinct_senders} senders, "
         f"{stream_summary.num_distinct_sizes} sizes"
     )
     if args.save_traces:
-        count = save_traces(
-            result.tracer,
-            args.save_traces,
-            metadata={
-                "workload": args.workload,
-                "nprocs": args.nprocs,
-                "scale": args.scale,
-                "seed": args.seed,
-            },
-        )
+        count = scenario_result.save_traces(args.save_traces)
         print(f"saved {count} trace records to {args.save_traces}")
     return 0
 
 
+def _sweep_cell_summary(index: int, scenario_result) -> dict:
+    """Deterministic JSON-able record of one finished sweep cell."""
+    stats = scenario_result.stats.summary()
+    stream = scenario_result.summary()
+    return {
+        "cell": index,
+        "label": scenario_result.label,
+        "spec": scenario_result.spec.to_dict(),
+        "makespan": scenario_result.makespan,
+        "stats": stats,
+        "representative_rank": scenario_result.representative_rank,
+        "stream": {
+            "total_messages": stream.total_messages,
+            "p2p_messages": stream.p2p_messages,
+            "collective_messages": stream.collective_messages,
+            "num_distinct_senders": stream.num_distinct_senders,
+            "num_distinct_sizes": stream.num_distinct_sizes,
+        },
+    }
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        sweep = load_sweep(args.spec)
+        specs = sweep.expand()
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"cannot load sweep spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("sweep expands to zero cells", file=sys.stderr)
+        return 2
+    print(
+        f"sweep {sweep.name or Path(args.spec).stem!r}: {len(specs)} cells"
+        + (f", {args.jobs} jobs" if args.jobs and args.jobs > 1 else ""),
+        file=sys.stderr,
+    )
+    results = sweep.run_all(jobs=args.jobs)
+    cells = [_sweep_cell_summary(i, r) for i, r in enumerate(results)]
+    rows = [
+        [
+            cell["cell"],
+            cell["label"],
+            result.spec.policy.kind,
+            cell["stats"]["messages_sent"],
+            f"{cell['makespan'] * 1e3:.3f}",
+            cell["stream"]["total_messages"],
+            cell["stream"]["num_distinct_senders"],
+        ]
+        for cell, result in zip(cells, results)
+    ]
+    print(
+        ascii_table(
+            ["cell", "label", "policy", "messages", "makespan (ms)", "rank msgs", "senders"],
+            rows,
+            title=f"sweep — {sweep.name or Path(args.spec).stem}",
+        )
+    )
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        summary_payload = {
+            "format": "repro-sweep-summary",
+            "version": 1,
+            "name": sweep.name,
+            "spec_file": Path(args.spec).name,
+            "cells": cells,
+        }
+        summary_path = out_dir / "summary.json"
+        summary_path.write_text(
+            json.dumps(summary_payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written = [summary_path.name]
+        if args.save_traces:
+            for index, scenario_result in enumerate(results):
+                if scenario_result.result.tracer is None:
+                    continue
+                trace_path = out_dir / f"cell-{index:02d}-{scenario_result.label}.traces.jsonl"
+                scenario_result.save_traces(trace_path, metadata={"cell": index})
+                written.append(trace_path.name)
+        print(f"wrote {', '.join(written)} to {out_dir}", file=sys.stderr)
+    return 0
+
+
 def _cmd_predict(args) -> int:
+    predictor_spec = PredictorSpec(
+        kind="periodicity",
+        horizon=args.horizon,
+        params={"window_size": args.window, "max_period": args.max_period},
+    )
     if args.traces:
         traces, metadata = load_traces(args.traces)
         rank = args.rank if args.rank is not None else 0
@@ -156,22 +298,38 @@ def _cmd_predict(args) -> int:
             return 2
         records = traces[rank].logical if args.level == "logical" else traces[rank].physical
         label = f"{metadata.get('workload', 'trace')} (rank {rank}, {args.level})"
+        streams = (("sender", sender_stream(records)), ("size", size_stream(records)))
+        factory = predictor_spec.factory()
+        rows = [
+            [name] + [
+                f"{100 * a:.1f}%"
+                for a in evaluate_stream(stream, factory, horizon=args.horizon).accuracies()
+            ]
+            for name, stream in streams
+        ]
     elif args.workload and args.nprocs:
-        workload = create_workload(args.workload, nprocs=args.nprocs, scale=args.scale)
-        result = run_workload(workload, seed=args.seed)
-        rank = args.rank if args.rank is not None else workload.representative_rank()
-        trace = result.trace_for(rank)
-        records = trace.logical if args.level == "logical" else trace.physical
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(name=args.workload, nprocs=args.nprocs, scale=args.scale),
+            seed=args.seed,
+            predictor=predictor_spec,
+        )
+        scenario_result = Scenario(spec).run()
+        rank = args.rank if args.rank is not None else scenario_result.representative_rank
         label = f"{args.workload}.{args.nprocs} (rank {rank}, {args.level})"
+        rows = [
+            [name]
+            + [
+                f"{100 * a:.1f}%"
+                for a in scenario_result.predict(
+                    kind=name, level=args.level, rank=rank
+                ).accuracies()
+            ]
+            for name in ("sender", "size")
+        ]
     else:
         print("predict requires either --traces FILE or --workload/--nprocs", file=sys.stderr)
         return 2
 
-    factory = lambda: PeriodicityPredictor(window_size=args.window, max_period=args.max_period)
-    rows = []
-    for name, stream in (("sender", sender_stream(records)), ("size", size_stream(records))):
-        outcome = evaluate_stream(stream, factory, horizon=args.horizon)
-        rows.append([name] + [f"{100 * a:.1f}%" for a in outcome.accuracies()])
     headers = ["stream"] + [f"+{k}" for k in range(1, args.horizon + 1)]
     print(ascii_table(headers, rows, title=f"prediction accuracy — {label}"))
     return 0
@@ -222,21 +380,56 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_list(_args) -> int:
+def _registry_listing() -> dict:
+    """Machine-readable view of every scenario-addressable component."""
+    return {
+        "workloads": workload_names(),
+        "paper_configurations": [
+            {
+                "label": config.label,
+                "workload": config.workload,
+                "nprocs": config.nprocs,
+                "scale": config.scale,
+            }
+            for config in paper_configurations()
+        ],
+        "policies": POLICIES.describe(),
+        "predictors": PREDICTORS.describe(),
+        "machine_presets": MACHINE_PRESETS.describe(),
+        "network_presets": NETWORK_PRESETS.describe(),
+    }
+
+
+def _cmd_list(args) -> int:
+    listing = _registry_listing()
+    if getattr(args, "json", False):
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
     print("available workloads:")
-    for name in workload_names():
+    for name in listing["workloads"]:
         print(f"  {name}")
     print("\npaper configurations (Table 1):")
     rows = [
-        [config.label, config.workload, config.nprocs, config.scale]
-        for config in paper_configurations()
+        [config["label"], config["workload"], config["nprocs"], config["scale"]]
+        for config in listing["paper_configurations"]
     ]
     print(ascii_table(["label", "workload", "nprocs", "default scale"], rows))
+    for title, key in (
+        ("flow-control policies", "policies"),
+        ("predictors", "predictors"),
+        ("machine presets", "machine_presets"),
+        ("network presets", "network_presets"),
+    ):
+        print(f"\n{title}:")
+        for entry in listing[key]:
+            aliases = f" (aliases: {', '.join(entry['aliases'])})" if entry["aliases"] else ""
+            print(f"  {entry['name']}{aliases}")
     return 0
 
 
 _COMMANDS = {
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "predict": _cmd_predict,
     "table1": _cmd_table1,
     "report": _cmd_report,

@@ -27,6 +27,15 @@ modelled (a miss falls back to the slow rendezvous path).
 from repro.predictive.buffer_manager import PredictiveBufferPolicy
 from repro.predictive.credit_policy import PredictiveCreditPolicy
 from repro.predictive.online import OnlineMessagePredictor, PredictedMessage
+from repro.predictive.registry import (
+    create_policy,
+    create_predictor,
+    policy_names,
+    predictor_factory,
+    predictor_names,
+    register_policy,
+    register_predictor,
+)
 from repro.predictive.rendezvous_bypass import PredictiveRendezvousPolicy
 
 __all__ = [
@@ -35,4 +44,11 @@ __all__ = [
     "PredictiveBufferPolicy",
     "PredictiveCreditPolicy",
     "PredictiveRendezvousPolicy",
+    "create_policy",
+    "create_predictor",
+    "policy_names",
+    "predictor_factory",
+    "predictor_names",
+    "register_policy",
+    "register_predictor",
 ]

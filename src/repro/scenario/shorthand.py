@@ -1,0 +1,87 @@
+"""String shorthand for scenario components.
+
+Specs accept compact strings wherever a component table would be verbose::
+
+    policy    = "credit:horizon=5,credit_cap_bytes=65536"
+    predictor = "periodicity:window=24,max_period=256"
+    network   = "noiseless:latency=1e-6"
+    workload  = "bt.9:scale=0.2"          # paper-label form
+    workload  = "bt:nprocs=9,scale=0.2"   # explicit form
+
+The grammar is ``head[:key=value,key=value,...]``; values are coerced to
+``int`` / ``float`` / ``bool`` / ``None`` when they parse as one, and stay
+strings otherwise.  :func:`split_shorthand` returns the head and the parsed
+parameter dict; the spec classes decide what the head means (registry name,
+preset name, or ``name.nprocs`` workload label).
+"""
+
+from __future__ import annotations
+
+__all__ = ["coerce_scalar", "parse_params", "split_shorthand"]
+
+_BOOL_WORDS = {
+    "true": True,
+    "yes": True,
+    "on": True,
+    "false": False,
+    "no": False,
+    "off": False,
+}
+
+
+def coerce_scalar(text: str):
+    """Parse ``text`` into the most specific scalar it represents.
+
+    Tries ``bool`` words, ``None`` words, ``int``, then ``float``; anything
+    else is returned as the stripped string.
+    """
+    value = text.strip()
+    lowered = value.lower()
+    if lowered in _BOOL_WORDS:
+        return _BOOL_WORDS[lowered]
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def parse_params(text: str) -> dict:
+    """Parse ``"key=value,key=value"`` into a dict of coerced scalars."""
+    params: dict[str, object] = {}
+    text = text.strip()
+    if not text:
+        return params
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(
+                f"malformed shorthand parameter {item!r} (expected key=value)"
+            )
+        if key in params:
+            raise ValueError(f"duplicate shorthand parameter {key!r}")
+        params[key] = coerce_scalar(raw)
+    return params
+
+
+def split_shorthand(text: str) -> tuple[str, dict]:
+    """Split ``"head:key=value,..."`` into ``(head, params)``.
+
+    The head is everything before the first ``:``; a missing ``:`` means no
+    parameters.  Raises :class:`ValueError` on an empty head.
+    """
+    head, _, rest = text.partition(":")
+    head = head.strip()
+    if not head:
+        raise ValueError(f"shorthand {text!r} has no component name")
+    return head, parse_params(rest)

@@ -1,0 +1,566 @@
+"""The declarative scenario specification tree.
+
+A :class:`ScenarioSpec` is a frozen, picklable, JSON/TOML-able description of
+one simulation: which workload at which size, on which machine and network
+cost models, under which flow-control policy, evaluated with which predictor,
+traced or not.  It is the single front door of the reproduction — the CLI,
+the sweep engine, the paper's experiment context and the ``run_workload``
+compat shim all construct one of these and hand it to
+:class:`repro.scenario.Scenario`.
+
+Every node accepts three equivalent forms:
+
+* **Python**: ``ScenarioSpec(workload=WorkloadSpec("bt", 9, scale=0.2))``
+* **dicts** (and therefore TOML tables): ``{"workload": {"name": "bt",
+  "nprocs": 9, "scale": 0.2}, "policy": {"kind": "credit"}}``
+* **string shorthand**: ``ScenarioSpec(workload="bt.9:scale=0.2",
+  policy="credit:horizon=5")``
+
+Component names are resolved through the registries in
+:mod:`repro.sim.registry` (machine/network presets) and
+:mod:`repro.predictive.registry` (policies, predictors) at *build* time, so
+specs can be constructed before custom components are registered and stay
+cheap to create, compare and pickle.
+
+Seed plumbing: :class:`NetworkSpec` (like :class:`~repro.sim.network.NetworkConfig`)
+leaves its seed ``None`` by default, meaning "derive from the scenario
+seed" — an override-only network configuration follows the experiment seed
+exactly like the default one, on every path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tomllib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.scenario.shorthand import split_shorthand
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig
+from repro.sim.registry import create_machine, create_network
+from repro.predictive.registry import create_policy, predictor_factory
+from repro.workloads.base import Workload
+from repro.workloads.registry import LABEL_ABBREVIATIONS, create_workload
+
+__all__ = [
+    "WorkloadSpec",
+    "MachineSpec",
+    "NetworkSpec",
+    "PolicySpec",
+    "PredictorSpec",
+    "TraceSpec",
+    "ScenarioSpec",
+]
+
+#: Paper-label abbreviations (``sw.32`` on the figures means sweep3d at 32),
+#: shared with ``PaperConfiguration.label``.
+_LABEL_SHORT = LABEL_ABBREVIATIONS
+_LABEL_EXPAND = {short: full for full, short in _LABEL_SHORT.items()}
+
+
+# ----------------------------------------------------------------------
+# Frozen key/value payloads
+# ----------------------------------------------------------------------
+def _freeze_items(value) -> tuple[tuple[str, object], ...]:
+    """Normalise a params payload to a canonical tuple of (key, value) pairs."""
+    if value is None:
+        return ()
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = list(value)
+    frozen = []
+    for item in items:
+        key, val = item
+        if not isinstance(key, str):
+            raise TypeError(f"parameter names must be strings, got {key!r}")
+        frozen.append((key, val))
+    frozen.sort(key=lambda pair: pair[0])
+    keys = [key for key, _ in frozen]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate parameter names in {keys}")
+    return tuple(frozen)
+
+
+def _items_dict(pairs: tuple[tuple[str, object], ...]) -> dict:
+    """The tuple-of-pairs payload back as a plain dict."""
+    return dict(pairs)
+
+
+def _config_overrides(config, exclude: tuple[str, ...] = ()) -> dict:
+    """Fields of a frozen config dataclass that differ from its defaults."""
+    overrides = {}
+    for field in dataclasses.fields(config):
+        if field.name in exclude:
+            continue
+        value = getattr(config, field.name)
+        if value != field.default:
+            overrides[field.name] = value
+    return overrides
+
+
+def _reject_unknown_keys(kind: str, data: Mapping, known: tuple[str, ...]) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} spec keys {unknown}; expected a subset of {sorted(known)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which workload skeleton to run, at which size and scale.
+
+    ``None`` fields are *unset*: the workload class default applies (exactly
+    as if the keyword were not passed to its constructor).  ``params`` holds
+    extra workload-specific constructor keywords as a canonical tuple of
+    pairs (use a dict when constructing; it is frozen automatically).
+    """
+
+    name: str
+    nprocs: int
+    scale: float | None = None
+    iterations: int | None = None
+    compute_time: float | None = None
+    compute_noise: float | None = None
+    params: tuple = ()
+
+    _FIELDS = ("name", "nprocs", "scale", "iterations", "compute_time",
+               "compute_noise", "params")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_items(self.params))
+        if not self.name:
+            raise ValueError("workload spec needs a workload name")
+        if int(self.nprocs) <= 0:
+            raise ValueError(f"nprocs must be positive, got {self.nprocs}")
+        object.__setattr__(self, "nprocs", int(self.nprocs))
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``bt.9`` (``sw.32`` for sweep3d)."""
+        return f"{_LABEL_SHORT.get(self.name, self.name)}.{self.nprocs}"
+
+    def build(self) -> Workload:
+        """Instantiate the workload through the registry."""
+        kwargs = _items_dict(self.params)
+        for field in ("scale", "iterations", "compute_time", "compute_noise"):
+            value = getattr(self, field)
+            if value is not None:
+                kwargs[field] = value
+        return create_workload(self.name, nprocs=self.nprocs, **kwargs)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def coerce(cls, value) -> "WorkloadSpec":
+        """Accept a spec, a dict, a shorthand string, or a Workload instance."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Workload):
+            return cls.from_workload(value)
+        if isinstance(value, str):
+            return cls.from_shorthand(value)
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise TypeError(f"cannot build a WorkloadSpec from {value!r}")
+
+    @classmethod
+    def from_shorthand(cls, text: str) -> "WorkloadSpec":
+        """Parse ``"bt.9:scale=0.2"`` / ``"bt:nprocs=9,scale=0.2"``."""
+        head, params = split_shorthand(text)
+        name, dot, count = head.rpartition(".")
+        if dot and count.isdigit():
+            if "nprocs" in params:
+                raise ValueError(
+                    f"workload shorthand {text!r} gives nprocs twice"
+                )
+            params["nprocs"] = int(count)
+            head = name
+        head = _LABEL_EXPAND.get(head, head)
+        return cls.from_dict({"name": head, **params})
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        """Build from a dict; non-field keys land in ``params``."""
+        data = dict(data)
+        if "name" not in data:
+            raise ValueError(f"workload spec {data!r} is missing 'name'")
+        if "nprocs" not in data:
+            raise ValueError(f"workload spec {data!r} is missing 'nprocs'")
+        params = dict(data.pop("params", {}))
+        kwargs = {}
+        for field in cls._FIELDS:
+            if field in data:
+                kwargs[field] = data.pop(field)
+        params.update(data)  # remaining keys are workload-specific knobs
+        return cls(params=params, **kwargs)
+
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "WorkloadSpec":
+        """Describe an existing workload instance (best effort).
+
+        Captures the structural knobs the :class:`Workload` base class owns
+        (size, scale, the pinned iteration count, compute timing).  Workload
+        *subclass* constructor knobs are not recoverable from an instance
+        (``parameters()`` reports derived quantities, not constructor
+        arguments), so a spec built this way rebuilds subclass defaults; the
+        ``run_workload`` compat shim — the main caller — injects the original
+        instance and only uses the spec for metadata.
+        """
+        return cls(
+            name=workload.name,
+            nprocs=workload.nprocs,
+            scale=workload.scale,
+            iterations=workload.iterations,
+            compute_time=workload.compute_time,
+            compute_noise=workload.compute_noise,
+        )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "nprocs": self.nprocs,
+            "scale": self.scale,
+            "iterations": self.iterations,
+            "compute_time": self.compute_time,
+            "compute_noise": self.compute_noise,
+            "params": _items_dict(self.params),
+        }
+
+
+# ----------------------------------------------------------------------
+# Machine / network cost models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine preset name plus field overrides."""
+
+    preset: str = "default"
+    overrides: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", _freeze_items(self.overrides))
+
+    def build(self) -> MachineConfig:
+        """Resolve the preset through :mod:`repro.sim.registry`."""
+        return create_machine(self.preset, **_items_dict(self.overrides))
+
+    @classmethod
+    def coerce(cls, value) -> "MachineSpec":
+        """Accept a spec, None, a shorthand string, a dict, or a MachineConfig."""
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if isinstance(value, MachineConfig):
+            return cls(overrides=_config_overrides(value))
+        if isinstance(value, str):
+            preset, params = split_shorthand(value)
+            return cls(preset=preset, overrides=params)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            preset = data.pop("preset", "default")
+            overrides = dict(data.pop("overrides", {}))
+            overrides.update(data)  # flat form: remaining keys are overrides
+            return cls(preset=preset, overrides=overrides)
+        raise TypeError(f"cannot build a MachineSpec from {value!r}")
+
+    def to_dict(self) -> dict:
+        return {"preset": self.preset, "overrides": _items_dict(self.overrides)}
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A network preset name, an optional pinned seed, and field overrides.
+
+    ``seed=None`` (the default) derives the jitter seed from the scenario
+    seed, which is the paper recipe — every random stream of a run follows
+    one experiment seed.  Pinning ``seed`` decouples the network stream (the
+    jitter ablations pin it to compare policies under identical noise).
+    """
+
+    preset: str = "default"
+    seed: int | None = None
+    overrides: tuple = ()
+
+    def __post_init__(self) -> None:
+        overrides = dict(_freeze_items(self.overrides))
+        if "seed" in overrides:  # normalise: the field owns the seed
+            pinned = overrides.pop("seed")
+            if self.seed is not None and self.seed != pinned:
+                raise ValueError(
+                    f"network spec pins seed twice: {self.seed} and {pinned}"
+                )
+            object.__setattr__(self, "seed", pinned)
+        object.__setattr__(self, "overrides", _freeze_items(overrides))
+
+    def build(self, run_seed: int) -> NetworkConfig:
+        """Resolve to a :class:`NetworkConfig` with the seed settled.
+
+        The pinned ``seed`` wins; otherwise ``run_seed`` (the scenario seed)
+        is used, matching ``NetworkConfig(seed=run_seed)`` bit for bit.
+        """
+        seed = self.seed if self.seed is not None else run_seed
+        return create_network(
+            self.preset, seed=seed, **_items_dict(self.overrides)
+        )
+
+    @classmethod
+    def coerce(cls, value) -> "NetworkSpec":
+        """Accept a spec, None, a shorthand string, a dict, or a NetworkConfig."""
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if isinstance(value, NetworkConfig):
+            return cls.from_config(value)
+        if isinstance(value, str):
+            preset, params = split_shorthand(value)
+            return cls(preset=preset, overrides=params)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            preset = data.pop("preset", "default")
+            seed = data.pop("seed", None)
+            overrides = dict(data.pop("overrides", {}))
+            overrides.update(data)
+            return cls(preset=preset, seed=seed, overrides=overrides)
+        raise TypeError(f"cannot build a NetworkSpec from {value!r}")
+
+    @classmethod
+    def from_config(cls, config: NetworkConfig) -> "NetworkSpec":
+        """Spec-ify an existing configuration (non-default fields become
+        overrides; an unpinned seed stays derivable)."""
+        return cls(
+            seed=config.seed,
+            overrides=_config_overrides(config, exclude=("seed",)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "overrides": _items_dict(self.overrides),
+        }
+
+
+# ----------------------------------------------------------------------
+# Policy / predictor / trace
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolicySpec:
+    """A registered flow-control policy by name, with constructor params."""
+
+    kind: str = "standard"
+    params: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_items(self.params))
+
+    def build(self):
+        """Instantiate through :mod:`repro.predictive.registry`."""
+        return create_policy(self.kind, **_items_dict(self.params))
+
+    @classmethod
+    def coerce(cls, value) -> "PolicySpec":
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if isinstance(value, str):
+            kind, params = split_shorthand(value)
+            return cls(kind=kind, params=params)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            kind = data.pop("kind", "standard")
+            params = dict(data.pop("params", {}))
+            params.update(data)
+            return cls(kind=kind, params=params)
+        raise TypeError(f"cannot build a PolicySpec from {value!r}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": _items_dict(self.params)}
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """The predictor evaluated over a scenario's streams, plus the horizon."""
+
+    kind: str = "periodicity"
+    horizon: int = 5
+    params: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_items(self.params))
+        if int(self.horizon) <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        object.__setattr__(self, "horizon", int(self.horizon))
+
+    def factory(self) -> Callable[[], object]:
+        """A zero-argument factory of fresh predictor instances."""
+        return predictor_factory(self.kind, **_items_dict(self.params))
+
+    @classmethod
+    def coerce(cls, value) -> "PredictorSpec":
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if isinstance(value, str):
+            kind, params = split_shorthand(value)
+            horizon = params.pop("horizon", 5)
+            return cls(kind=kind, horizon=horizon, params=params)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            kind = data.pop("kind", "periodicity")
+            horizon = data.pop("horizon", 5)
+            params = dict(data.pop("params", {}))
+            params.update(data)
+            return cls(kind=kind, horizon=horizon, params=params)
+        raise TypeError(f"cannot build a PredictorSpec from {value!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "horizon": self.horizon,
+            "params": _items_dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Whether to record two-level traces, and where to save them."""
+
+    enabled: bool = True
+    path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.path is not None and not self.enabled:
+            raise ValueError("trace spec has a save path but tracing disabled")
+
+    @classmethod
+    def coerce(cls, value) -> "TraceSpec":
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if isinstance(value, bool):
+            return cls(enabled=value)
+        if isinstance(value, str):
+            return cls(path=value)
+        if isinstance(value, Mapping):
+            _reject_unknown_keys("trace", value, ("enabled", "path"))
+            return cls(**value)
+        raise TypeError(f"cannot build a TraceSpec from {value!r}")
+
+    def to_dict(self) -> dict:
+        return {"enabled": self.enabled, "path": self.path}
+
+
+# ----------------------------------------------------------------------
+# The scenario root
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described simulation scenario.
+
+    Every sub-spec field coerces on construction, so all of these are
+    equivalent::
+
+        ScenarioSpec(workload=WorkloadSpec("bt", 9), policy=PolicySpec("credit"))
+        ScenarioSpec(workload="bt.9", policy="credit")
+        ScenarioSpec.from_dict({"workload": "bt.9", "policy": "credit"})
+        ScenarioSpec.from_toml("scenario.toml")    # same keys as TOML tables
+    """
+
+    workload: WorkloadSpec
+    seed: int = 2003
+    machine: MachineSpec = MachineSpec()
+    network: NetworkSpec = NetworkSpec()
+    policy: PolicySpec = PolicySpec()
+    predictor: PredictorSpec = PredictorSpec()
+    trace: TraceSpec = TraceSpec()
+    name: str | None = None
+    max_events: int | None = None
+    compiled: bool = True
+
+    _FIELDS = ("workload", "seed", "machine", "network", "policy", "predictor",
+               "trace", "name", "max_events", "compiled")
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        coerce(self, "workload", WorkloadSpec.coerce(self.workload))
+        coerce(self, "machine", MachineSpec.coerce(self.machine))
+        coerce(self, "network", NetworkSpec.coerce(self.network))
+        coerce(self, "policy", PolicySpec.coerce(self.policy))
+        coerce(self, "predictor", PredictorSpec.coerce(self.predictor))
+        coerce(self, "trace", TraceSpec.coerce(self.trace))
+        coerce(self, "seed", int(self.seed))
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Display label: the explicit name, else the workload label."""
+        return self.name if self.name else self.workload.label
+
+    def cost_hint(self) -> float:
+        """Relative expected simulation cost (drives longest-first sharding).
+
+        LU's per-scale message volume is ~10x the other applications', the
+        same weighting :mod:`repro.analysis.experiments` has always used to
+        pack the process pool.
+        """
+        scale = self.workload.scale if self.workload.scale is not None else 1.0
+        weight = 10.0 if self.workload.name == "lu" else 1.0
+        return self.workload.nprocs * scale * weight
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        """A copy with the given fields replaced (sub-specs re-coerce)."""
+        return replace(self, **kwargs)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def coerce(cls, value) -> "ScenarioSpec":
+        """Accept a spec, a workload shorthand string, or a dict."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, (str, WorkloadSpec, Workload)):
+            return cls(workload=value)
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise TypeError(f"cannot build a ScenarioSpec from {value!r}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        """Build from a plain dict (the TOML table form)."""
+        data = dict(data)
+        _reject_unknown_keys("scenario", data, cls._FIELDS)
+        if "workload" not in data:
+            raise ValueError("scenario spec is missing 'workload'")
+        return cls(**data)
+
+    @classmethod
+    def from_toml(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a scenario spec from a TOML file."""
+        with Path(path).open("rb") as handle:
+            return cls.from_dict(tomllib.load(handle))
+
+    def to_dict(self) -> dict:
+        """Canonical nested JSON-able form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "workload": self.workload.to_dict(),
+            "machine": self.machine.to_dict(),
+            "network": self.network.to_dict(),
+            "policy": self.policy.to_dict(),
+            "predictor": self.predictor.to_dict(),
+            "trace": self.trace.to_dict(),
+            "max_events": self.max_events,
+            "compiled": self.compiled,
+        }

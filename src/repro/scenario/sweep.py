@@ -1,0 +1,227 @@
+"""The sweep engine: expand a spec template into cells and run them all.
+
+A :class:`Sweep` describes a family of scenarios three ways, freely combined:
+
+* ``base`` — a template :class:`~repro.scenario.spec.ScenarioSpec`;
+* ``grid`` — an ordered mapping of dotted spec paths to value lists
+  (``{"workload.nprocs": [4, 9], "network.overrides.jitter_sigma":
+  [0.0, 0.2]}``), expanded as a cartesian product over patched copies of
+  ``base``;
+* ``cells`` — an explicit list of cells, each either a full spec or a patch
+  dict deep-merged over ``base`` (so a cell states only what differs).
+
+:meth:`Sweep.expand` materialises the cell list in deterministic order (grid
+cells first, in row-major product order; explicit cells after).  Every cell
+is an independent seeded simulation, so :meth:`Sweep.run_all` with
+``jobs > 1`` shards the cells over a :class:`concurrent.futures.ProcessPoolExecutor`
+— longest-expected-first submission, results merged back in expansion
+order — and is bit-identical to a sequential run, the same contract the
+paper-sweep runner has had since the sharded experiment context.
+
+TOML form (``repro sweep my_sweep.toml``)::
+
+    name = "jitter-sweep"
+
+    [base]
+    seed = 2003
+    workload = "bt.4:scale=0.05"
+
+    [grid]
+    "network.overrides.jitter_sigma" = [0.0, 0.2, 0.5]
+
+    [[cells]]
+    workload = "cg:nprocs=4,scale=0.05"
+    policy = "credit:horizon=5"
+
+A TOML file without ``base``/``grid``/``cells`` keys is read as a single
+:class:`ScenarioSpec` and becomes a one-cell sweep.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import tomllib
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.scenario.scenario import Scenario, ScenarioResult
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["Sweep", "load_sweep"]
+
+
+def _run_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one cell (module-level so the process pool can pickle it)."""
+    return Scenario(spec).run()
+
+
+def _set_path(data: dict, path: str, value) -> None:
+    """Set ``value`` at a dotted ``path`` inside nested dicts (creating)."""
+    keys = [key for key in path.split(".") if key]
+    if not keys:
+        raise ValueError("empty grid path")
+    node = data
+    for key in keys[:-1]:
+        child = node.get(key)
+        if child is None:
+            child = node[key] = {}
+        elif not isinstance(child, dict):
+            raise ValueError(
+                f"grid path {path!r} descends into non-table value {child!r}"
+            )
+        node = child
+    node[keys[-1]] = value
+
+
+def _deep_merge(base: dict, patch: Mapping) -> dict:
+    """Recursively merge ``patch`` over ``base`` (tables merge, leaves replace)."""
+    merged = copy.deepcopy(base)
+    for key, value in patch.items():
+        if (
+            isinstance(value, Mapping)
+            and isinstance(merged.get(key), dict)
+        ):
+            merged[key] = _deep_merge(merged[key], value)
+        else:
+            merged[key] = copy.deepcopy(value) if isinstance(value, (dict, list)) else value
+    return merged
+
+
+class Sweep:
+    """A family of scenario cells expanded from a base spec, a grid, and
+    explicit cells.
+
+    Parameters
+    ----------
+    base:
+        Template spec the grid and patch-style cells derive from (anything
+        :meth:`ScenarioSpec.coerce` accepts).  Optional when every cell is a
+        full spec.
+    grid:
+        Ordered mapping of dotted spec paths to value lists; expanded as a
+        cartesian product over ``base`` in row-major order (first path varies
+        slowest).
+    cells:
+        Explicit cells: full specs, or patch dicts merged over ``base``.
+    name:
+        Display name of the sweep.
+    """
+
+    def __init__(
+        self,
+        base=None,
+        grid: Mapping[str, Sequence] | None = None,
+        cells: Sequence | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.base = ScenarioSpec.coerce(base) if base is not None else None
+        self.grid = {str(path): list(values) for path, values in (grid or {}).items()}
+        self.name = name
+        self.cells: list[ScenarioSpec] = []
+        for cell in cells or ():
+            if isinstance(cell, Mapping) and self.base is not None:
+                merged = _deep_merge(self.base.to_dict(), cell)
+                self.cells.append(ScenarioSpec.from_dict(merged))
+            else:
+                self.cells.append(ScenarioSpec.coerce(cell))
+        if self.grid and self.base is None:
+            raise ValueError("a grid sweep needs a base spec to patch")
+        for path, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid path {path!r} has no values")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Sweep":
+        """Build a sweep from its dict (TOML) form.
+
+        A mapping without ``base``/``grid``/``cells`` keys is interpreted as
+        a single scenario spec.
+        """
+        if not any(key in data for key in ("base", "grid", "cells")):
+            spec = ScenarioSpec.from_dict(data)
+            return cls(cells=[spec], name=spec.name)
+        data = dict(data)
+        name = data.pop("name", None)
+        base = data.pop("base", None)
+        grid = data.pop("grid", None)
+        cells = data.pop("cells", None)
+        if data:
+            raise ValueError(
+                f"unknown sweep keys {sorted(data)}; expected "
+                "name/base/grid/cells (or a bare scenario spec)"
+            )
+        return cls(base=base, grid=grid, cells=cells, name=name)
+
+    @classmethod
+    def from_toml(cls, path: str | Path) -> "Sweep":
+        """Load a sweep (or a single scenario) from a TOML file."""
+        with Path(path).open("rb") as handle:
+            return cls.from_dict(tomllib.load(handle))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Sweep(name={self.name!r}, grid_paths={list(self.grid)}, "
+            f"cells={len(self.cells)})"
+        )
+
+    # ------------------------------------------------------------------
+    def expand(self) -> list[ScenarioSpec]:
+        """The concrete cell list, in deterministic order.
+
+        Grid cells come first (row-major cartesian order), explicit cells
+        after.  A sweep with neither grid nor cells is just ``[base]``.
+        """
+        specs: list[ScenarioSpec] = []
+        if self.grid:
+            base_dict = self.base.to_dict()
+            paths = list(self.grid)
+            for combo in itertools.product(*(self.grid[path] for path in paths)):
+                patched = copy.deepcopy(base_dict)
+                for path, value in zip(paths, combo):
+                    _set_path(patched, path, value)
+                specs.append(ScenarioSpec.from_dict(patched))
+        elif self.base is not None and not self.cells:
+            specs.append(self.base)
+        specs.extend(self.cells)
+        trace_paths = [spec.trace.path for spec in specs if spec.trace.path]
+        if len(trace_paths) != len(set(trace_paths)):
+            # Typically a base trace.path inherited by every expanded cell:
+            # sequentially the last cell silently wins, sharded the workers
+            # race on one file.  Use `repro sweep --out/--save-traces` (or
+            # per-cell paths) instead.
+            raise ValueError(
+                "multiple sweep cells share a trace save path; give each "
+                "cell its own trace.path or save traces after run_all()"
+            )
+        return specs
+
+    def run_all(self, jobs: int | None = None) -> list[ScenarioResult]:
+        """Run every cell and return results in :meth:`expand` order.
+
+        ``jobs`` of ``None``/``1`` runs sequentially in-process; ``jobs > 1``
+        fans the cells over a process pool (longest-expected-first
+        submission, deterministic merge).  Each cell derives all its
+        randomness from its own spec, so sharded results are bit-identical
+        to sequential ones.
+        """
+        specs = self.expand()
+        if not specs:
+            return []
+        if jobs is None or jobs <= 1 or len(specs) == 1:
+            return [_run_spec(spec) for spec in specs]
+        by_cost = sorted(
+            range(len(specs)), key=lambda i: specs[i].cost_hint(), reverse=True
+        )
+        results: list[ScenarioResult | None] = [None] * len(specs)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            futures = {index: pool.submit(_run_spec, specs[index]) for index in by_cost}
+            for index in range(len(specs)):
+                results[index] = futures[index].result()
+        return results  # type: ignore[return-value]
+
+
+def load_sweep(path: str | Path) -> Sweep:
+    """Read ``path`` as a sweep TOML (single-scenario files become one cell)."""
+    return Sweep.from_toml(path)

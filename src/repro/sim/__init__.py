@@ -18,8 +18,22 @@ from repro.sim.errors import ConfigurationError, DeadlockError, SimulationError
 from repro.sim.events import EVENT_CALLBACK, EVENT_DELIVER, EVENT_STEP, EventQueue
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkConfig, NetworkModel
+from repro.sim.registry import (
+    create_machine,
+    create_network,
+    machine_preset_names,
+    network_preset_names,
+    register_machine_preset,
+    register_network_preset,
+)
 
 __all__ = [
+    "create_machine",
+    "create_network",
+    "machine_preset_names",
+    "network_preset_names",
+    "register_machine_preset",
+    "register_network_preset",
     "EVENT_CALLBACK",
     "EVENT_DELIVER",
     "EVENT_STEP",

@@ -234,6 +234,12 @@ class Simulator:
         if network is None:
             network = NetworkConfig(seed=seed)
         if isinstance(network, NetworkConfig):
+            if network.seed is None:
+                # A configuration without a pinned seed follows the run seed,
+                # exactly like the default configuration built above — so
+                # `NetworkConfig(jitter_sigma=...)` and `NetworkConfig()` both
+                # derive their jitter stream from `seed`.
+                network = network.with_overrides(seed=seed)
             network = NetworkModel(network)
         self.network = network
         if tracer is True:

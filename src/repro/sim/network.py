@@ -52,7 +52,11 @@ class NetworkConfig:
     retransmit_penalty:
         Extra delay applied when ``drop_probability`` triggers.
     seed:
-        Seed of the jitter random stream.
+        Seed of the jitter random stream.  ``None`` (the default) means "not
+        pinned": the simulator and the scenario layer derive it from the run
+        seed, so a configuration that only overrides timing parameters still
+        follows the experiment's seed.  A standalone :class:`NetworkModel`
+        built from an unpinned configuration falls back to seed 0.
     """
 
     latency: float = 25.0e-6
@@ -61,7 +65,7 @@ class NetworkConfig:
     contention: bool = True
     drop_probability: float = 0.0
     retransmit_penalty: float = 500.0e-6
-    seed: int = 0
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         check_positive("latency", self.latency)
@@ -99,7 +103,9 @@ class NetworkModel:
         self.config = config or NetworkConfig()
         if seed is not None:
             self.config = self.config.with_overrides(seed=seed)
-        self._rng = SeededRNG(self.config.seed, "network")
+        self._rng = SeededRNG(
+            self.config.seed if self.config.seed is not None else 0, "network"
+        )
         # Per-destination time at which the inbound link becomes free again.
         self._link_free_at: dict[int, float] = {}
         self.messages_timed = 0

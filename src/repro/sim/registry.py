@@ -1,0 +1,86 @@
+"""Named machine and network presets for the declarative scenario layer.
+
+:class:`~repro.sim.machine.MachineConfig` and
+:class:`~repro.sim.network.NetworkConfig` are plain frozen dataclasses; specs
+refer to them by *preset name* plus field overrides, e.g.::
+
+    network = "noiseless"                       # string shorthand
+    network = "default:jitter_sigma=0.5"        # preset with overrides
+    [network]                                   # TOML table form
+    preset = "noiseless"
+    latency = 1e-6
+
+Presets are registered here so new cost models (a fat-tree model, a
+site-measured machine) become addressable from specs and TOML files without
+touching the scenario layer.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig
+from repro.util.registry import ComponentRegistry
+
+__all__ = [
+    "MACHINE_PRESETS",
+    "NETWORK_PRESETS",
+    "create_machine",
+    "create_network",
+    "machine_preset_names",
+    "network_preset_names",
+    "register_machine_preset",
+    "register_network_preset",
+]
+
+MACHINE_PRESETS = ComponentRegistry("machine preset")
+NETWORK_PRESETS = ComponentRegistry("network preset")
+
+MACHINE_PRESETS.register(
+    "default",
+    MachineConfig,
+    description="LogGP-style IBM SP-class node: 16 KB eager threshold, "
+    "per-message CPU overheads, rendezvous control messages.",
+)
+
+NETWORK_PRESETS.register(
+    "default",
+    NetworkConfig,
+    description="Jittered network: latency + bandwidth + half-normal jitter "
+    "and per-destination FIFO link contention.",
+)
+NETWORK_PRESETS.register(
+    "noiseless",
+    NetworkConfig.noiseless,
+    description="Deterministic network: no jitter, no contention, no drops "
+    "(physical stream equals logical stream).",
+)
+
+
+def register_machine_preset(name: str, factory, **kwargs) -> None:
+    """Register a machine preset factory returning a :class:`MachineConfig`."""
+    MACHINE_PRESETS.register(name, factory, **kwargs)
+
+
+def register_network_preset(name: str, factory, **kwargs) -> None:
+    """Register a network preset factory returning a :class:`NetworkConfig`."""
+    NETWORK_PRESETS.register(name, factory, **kwargs)
+
+
+def machine_preset_names() -> list[str]:
+    """Names of all registered machine presets."""
+    return MACHINE_PRESETS.names()
+
+
+def network_preset_names() -> list[str]:
+    """Names of all registered network presets."""
+    return NETWORK_PRESETS.names()
+
+
+def create_machine(preset: str = "default", **overrides) -> MachineConfig:
+    """Build a :class:`MachineConfig` from a preset name plus field overrides."""
+    return MACHINE_PRESETS.create(preset, **overrides)
+
+
+def create_network(preset: str = "default", **overrides) -> NetworkConfig:
+    """Build a :class:`NetworkConfig` from a preset name plus field overrides."""
+    return NETWORK_PRESETS.create(preset, **overrides)

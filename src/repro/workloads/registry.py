@@ -19,11 +19,17 @@ from repro.workloads.synthetic import (
 
 __all__ = [
     "WORKLOAD_CLASSES",
+    "LABEL_ABBREVIATIONS",
     "PaperConfiguration",
     "workload_names",
     "create_workload",
     "paper_configurations",
 ]
+
+#: Workload-name abbreviations used in figure/cell labels (``sw.32`` means
+#: sweep3d at 32 processes).  Shared by :class:`PaperConfiguration` and the
+#: scenario layer's label parsing/printing so the two can never disagree.
+LABEL_ABBREVIATIONS: dict[str, str] = {"sweep3d": "sw"}
 
 #: All registered workload classes, keyed by their :attr:`Workload.name`.
 WORKLOAD_CLASSES: dict[str, type[Workload]] = {
@@ -66,7 +72,7 @@ class PaperConfiguration:
     @property
     def label(self) -> str:
         """Short label used on the figures' x axes, e.g. ``bt.9``."""
-        short = {"sweep3d": "sw"}.get(self.workload, self.workload)
+        short = LABEL_ABBREVIATIONS.get(self.workload, self.workload)
         return f"{short}.{self.nprocs}"
 
 

@@ -1,15 +1,27 @@
 """Convenience entry point: run a workload on the simulator.
 
-This is the main "experiment driver" of the reproduction: it wires a workload
-skeleton, the machine/network models, the flow-control policy and the
-two-level tracer into a :class:`repro.sim.engine.Simulator` and runs it to
-completion, returning the :class:`repro.sim.engine.SimulationResult` whose
-traces feed the predictor evaluation.
+.. deprecated-api::
+   :func:`run_workload` is kept as a **compatibility shim** over the
+   declarative scenario API (:mod:`repro.scenario`) — it wraps its arguments
+   in a :class:`~repro.scenario.spec.ScenarioSpec` and runs it through
+   :class:`~repro.scenario.Scenario`.  Its signature and behaviour are
+   stable and it is not scheduled for removal, but new code (and anything
+   that wants sweeps, TOML specs, policy shorthands, or the lazy result
+   accessors) should construct scenarios directly::
+
+       from repro.scenario import Scenario
+       result = Scenario({"workload": "bt.9:scale=0.2", "seed": 7}).run()
+
+Seed plumbing note: an explicitly passed :class:`NetworkConfig` whose seed is
+unpinned (``seed=None``, the default) now derives its jitter seed from the
+run ``seed``, exactly like the default network — both paths go through
+:class:`~repro.scenario.spec.NetworkSpec`.  Pass ``NetworkConfig(seed=...)``
+to pin the network stream independently.
 """
 
 from __future__ import annotations
 
-from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.engine import SimulationResult
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkConfig, NetworkModel
 from repro.trace.tracer import TwoLevelTracer
@@ -35,8 +47,8 @@ def run_workload(
     workload:
         The workload skeleton instance (defines ``nprocs`` and the program).
     seed:
-        Base seed; it seeds both the per-rank compute-noise RNGs and, unless a
-        pre-built network model is passed, the network jitter RNG.
+        Base seed; it seeds both the per-rank compute-noise RNGs and, unless
+        the network pins its own seed, the network jitter RNG.
     machine, network:
         Cost models; defaults are the standard
         :class:`MachineConfig`/:class:`NetworkConfig`.
@@ -56,16 +68,25 @@ def run_workload(
         bit-identical either way; the flag exists for benchmarks and the
         equivalence tests.
     """
-    if network is None:
-        network = NetworkConfig(seed=seed)
-    simulator = Simulator(
-        nprocs=workload.nprocs,
+    # Imported here: the workloads package initialises before the scenario
+    # layer (scenario specs import workload classes), so the shim resolves
+    # its target lazily.
+    from repro.scenario.scenario import Scenario
+    from repro.scenario.spec import ScenarioSpec, TraceSpec, WorkloadSpec
+
+    spec = ScenarioSpec(
+        workload=WorkloadSpec.from_workload(workload),
+        seed=seed,
+        trace=TraceSpec(enabled=tracer is not None and tracer is not False),
+        max_events=max_events,
+        compiled=compiled,
+    )
+    scenario = Scenario(
+        spec,
+        workload=workload,
         machine=machine,
         network=network,
-        tracer=tracer,
         policy=policy,
-        seed=seed,
-        max_events=max_events,
+        tracer=tracer,
     )
-    factory = workload.program_for if compiled else workload.program
-    return simulator.run([factory])
+    return scenario.run().result

@@ -1,5 +1,7 @@
 """Tests for the CLI (repro.cli) and the report builder (repro.analysis.report)."""
 
+import json
+
 import pytest
 
 from repro.analysis.bench import carry_baseline
@@ -77,6 +79,24 @@ class TestCLIParser:
         args = build_parser().parse_args(["report", "--jobs", "4"])
         assert args.jobs == 4
 
+    def test_run_policy_flag(self):
+        args = build_parser().parse_args(
+            ["run", "bt", "--nprocs", "4", "--policy", "credit:horizon=3"]
+        )
+        assert args.policy == "credit:horizon=3"
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "spec.toml", "--jobs", "2", "--out", "outdir", "--save-traces"]
+        )
+        assert args.command == "sweep"
+        assert args.spec == "spec.toml"
+        assert args.jobs == 2 and args.out == "outdir" and args.save_traces
+
+    def test_list_json_flag(self):
+        assert build_parser().parse_args(["list", "--json"]).json
+        assert not build_parser().parse_args(["list"]).json
+
 
 class TestCLICommands:
     def test_list(self, capsys):
@@ -141,6 +161,121 @@ class TestCLICommands:
             ["run", "ring-exchange", "--nprocs", "4", "--scale", "0.05", "--jitter", "0.0"]
         )
         assert code == 0
+
+    def test_run_with_policy_shorthand(self, capsys):
+        code = main(
+            [
+                "run",
+                "bt",
+                "--nprocs", "4",
+                "--scale", "0.05",
+                "--policy", "credit:horizon=3",
+            ]
+        )
+        assert code == 0
+        assert "messages_sent" in capsys.readouterr().out
+
+    def test_list_json_registries(self, capsys):
+        assert main(["list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert "bt" in listing["workloads"]
+        assert len(listing["paper_configurations"]) == 19
+        assert listing["paper_configurations"][0]["label"]
+        policy_names = {entry["name"] for entry in listing["policies"]}
+        assert "standard" in policy_names and "predictive-credits" in policy_names
+        assert any(
+            "credit" in entry["aliases"]
+            for entry in listing["policies"]
+            if entry["name"] == "predictive-credits"
+        )
+        assert {entry["name"] for entry in listing["network_presets"]} >= {
+            "default",
+            "noiseless",
+        }
+        assert any(entry["name"] == "periodicity" for entry in listing["predictors"])
+
+
+class TestCLIPredictTracesRoundTrip:
+    """CLI `predict --traces` on a file from `run --save-traces` (the v2
+    columnar round trip through the CLI path) must reproduce the on-the-fly
+    simulation accuracies exactly."""
+
+    def test_v2_round_trip_matches_simulation(self, tmp_path, capsys):
+        trace_file = tmp_path / "bt4.jsonl"
+        common = ["--nprocs", "4", "--scale", "0.05", "--seed", "7"]
+        assert main(["run", "bt", *common, "--save-traces", str(trace_file)]) == 0
+        capsys.readouterr()
+
+        # The CLI writes the current (v2, columnar) format.
+        header = json.loads(trace_file.read_text(encoding="utf-8").splitlines()[0])
+        assert header["format"] == "repro-trace" and header["version"] == 2
+        assert header["metadata"]["workload"] == "bt"
+        assert header["metadata"]["seed"] == 7
+
+        assert main(["predict", "--traces", str(trace_file), "--rank", "3"]) == 0
+        from_file = capsys.readouterr().out
+        assert main(["predict", "--workload", "bt", *common, "--rank", "3"]) == 0
+        from_simulation = capsys.readouterr().out
+        # Same accuracy table rows (titles differ: file label vs workload label).
+        assert from_file.splitlines()[2:] == from_simulation.splitlines()[2:]
+        assert "+5" in from_file
+
+
+class TestCLISweep:
+    def test_sweep_missing_spec_errors(self, tmp_path, capsys):
+        assert main(["sweep", str(tmp_path / "nope.toml")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_sweep_malformed_spec_errors_cleanly(self, tmp_path, capsys):
+        # Coercion raises TypeError (workload = 9) — still the friendly path.
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[base]\nworkload = 9\n", encoding="utf-8")
+        assert main(["sweep", str(bad)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_sweep_runs_and_writes_summary(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.toml"
+        spec.write_text(
+            "[base]\n"
+            'workload = "bt.4:scale=0.02"\n'
+            "seed = 3\n"
+            "[grid]\n"
+            '"network.overrides.jitter_sigma" = [0.0, 0.2]\n',
+            encoding="utf-8",
+        )
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(spec), "--out", str(out_dir), "--save-traces"]) == 0
+        out = capsys.readouterr().out
+        assert "bt.4" in out and "makespan" in out
+        summary = json.loads((out_dir / "summary.json").read_text(encoding="utf-8"))
+        assert summary["format"] == "repro-sweep-summary"
+        assert len(summary["cells"]) == 2
+        assert summary["cells"][0]["spec"]["network"]["overrides"]["jitter_sigma"] == 0.0
+        trace_files = sorted(p.name for p in out_dir.glob("*.traces.jsonl"))
+        assert trace_files == [
+            "cell-00-bt.4.traces.jsonl",
+            "cell-01-bt.4.traces.jsonl",
+        ]
+
+    def test_sweep_jobs_summary_byte_identical(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.toml"
+        spec.write_text(
+            "[base]\n"
+            'workload = "bt.4:scale=0.02"\n'
+            "seed = 3\n"
+            "[grid]\n"
+            '"network.overrides.jitter_sigma" = [0.0, 0.2]\n'
+            "[[cells]]\n"
+            'workload = "cg:nprocs=4,scale=0.02"\n',
+            encoding="utf-8",
+        )
+        seq_dir, par_dir = tmp_path / "seq", tmp_path / "par"
+        assert main(["sweep", str(spec), "--out", str(seq_dir)]) == 0
+        assert main(["sweep", str(spec), "--jobs", "2", "--out", str(par_dir)]) == 0
+        capsys.readouterr()
+        assert (seq_dir / "summary.json").read_bytes() == (
+            par_dir / "summary.json"
+        ).read_bytes()
 
 
 class TestBuildReportSharded:

@@ -1,0 +1,161 @@
+"""Tests for the sweep engine: expansion, TOML loading, sharded execution."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import ScenarioSpec, Sweep, load_sweep
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestExpansion:
+    def test_grid_is_row_major_cartesian(self):
+        sweep = Sweep(
+            base={"workload": "bt.4:scale=0.02", "seed": 3},
+            grid={
+                "workload.nprocs": [4, 9],
+                "network.overrides.jitter_sigma": [0.0, 0.2],
+            },
+        )
+        cells = sweep.expand()
+        assert [
+            (spec.workload.nprocs, dict(spec.network.overrides)["jitter_sigma"])
+            for spec in cells
+        ] == [(4, 0.0), (4, 0.2), (9, 0.0), (9, 0.2)]
+        # Grid patches don't leak between cells.
+        assert cells[0].seed == cells[3].seed == 3
+
+    def test_patch_cells_merge_over_base(self):
+        sweep = Sweep(
+            base={"workload": "bt.4:scale=0.02", "seed": 3, "policy": "credit"},
+            cells=[{"workload": "cg:nprocs=4,scale=0.02"}],
+        )
+        (cell,) = sweep.expand()
+        assert cell.workload.name == "cg"
+        assert cell.policy.kind == "credit"  # inherited from base
+        assert cell.seed == 3
+
+    def test_full_spec_cells_without_base(self):
+        sweep = Sweep(cells=[ScenarioSpec(workload="bt.4"), "cg.8"])
+        labels = [spec.label for spec in sweep.expand()]
+        assert labels == ["bt.4", "cg.8"]
+
+    def test_base_alone_is_one_cell(self):
+        sweep = Sweep(base={"workload": "bt.4"})
+        assert [spec.label for spec in sweep.expand()] == ["bt.4"]
+
+    def test_grid_after_cells_ordering(self):
+        sweep = Sweep(
+            base={"workload": "bt.4:scale=0.02"},
+            grid={"seed": [1, 2]},
+            cells=[{"workload": "cg:nprocs=4,scale=0.02"}],
+        )
+        labels = [(spec.label, spec.seed) for spec in sweep.expand()]
+        assert labels == [("bt.4", 1), ("bt.4", 2), ("cg.4", 2003)]
+
+    def test_grid_without_base_rejected(self):
+        with pytest.raises(ValueError, match="needs a base"):
+            Sweep(grid={"seed": [1]})
+
+    def test_empty_grid_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Sweep(base={"workload": "bt.4"}, grid={"seed": []})
+
+    def test_shared_trace_path_rejected(self, tmp_path):
+        # A base trace.path inherited by every grid cell would make the
+        # cells overwrite (or race on) one file.
+        sweep = Sweep(
+            base={"workload": "bt.4", "trace": str(tmp_path / "t.jsonl")},
+            grid={"seed": [1, 2]},
+        )
+        with pytest.raises(ValueError, match="share a trace save path"):
+            sweep.expand()
+
+    def test_distinct_trace_paths_allowed(self, tmp_path):
+        sweep = Sweep(
+            cells=[
+                {"workload": "bt.4", "trace": str(tmp_path / "a.jsonl")},
+                {"workload": "cg.4", "trace": str(tmp_path / "b.jsonl")},
+            ]
+        )
+        assert len(sweep.expand()) == 2
+
+    def test_grid_path_through_scalar_rejected(self):
+        sweep = Sweep(
+            base={"workload": "bt.4"}, grid={"seed.sub": [1]}
+        )
+        with pytest.raises(ValueError, match="non-table"):
+            sweep.expand()
+
+
+class TestTomlLoading:
+    def test_sweep_toml(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            'name = "t"\n'
+            "[base]\n"
+            'workload = "bt.4:scale=0.02"\n'
+            "seed = 3\n"
+            "[grid]\n"
+            '"network.overrides.jitter_sigma" = [0.0, 0.2]\n'
+            "[[cells]]\n"
+            'workload = "cg:nprocs=4,scale=0.02"\n',
+            encoding="utf-8",
+        )
+        sweep = load_sweep(path)
+        assert sweep.name == "t"
+        assert [spec.label for spec in sweep.expand()] == ["bt.4", "bt.4", "cg.4"]
+
+    def test_single_scenario_toml_becomes_one_cell(self, tmp_path):
+        path = tmp_path / "one.toml"
+        path.write_text('workload = "bt.9:scale=0.05"\nseed = 7\n', encoding="utf-8")
+        sweep = load_sweep(path)
+        (spec,) = sweep.expand()
+        assert spec == ScenarioSpec(workload="bt.9:scale=0.05", seed=7)
+
+    def test_unknown_sweep_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep keys"):
+            Sweep.from_dict({"base": {"workload": "bt.4"}, "grd": {}})
+
+    def test_shipped_example_expands(self):
+        sweep = load_sweep(EXAMPLES_DIR / "sweep_paper_subset.toml")
+        cells = sweep.expand()
+        assert len(cells) == 4
+        assert [spec.label for spec in cells] == ["bt.4", "bt.4", "cg.4", "is.4"]
+        assert cells[3].policy.kind == "credit"
+
+
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return Sweep(
+            base={"workload": "bt.4:scale=0.02", "seed": 3},
+            grid={"network.overrides.jitter_sigma": [0.0, 0.2]},
+            cells=[{"workload": "cg:nprocs=4,scale=0.02"}],
+        )
+
+    def test_sequential_results_in_expansion_order(self, sweep):
+        results = sweep.run_all()
+        assert [r.label for r in results] == ["bt.4", "bt.4", "cg.4"]
+        # The zero-jitter cell really ran a different network.
+        assert results[0].makespan != results[1].makespan
+
+    def test_sharded_bit_identical_to_sequential(self, sweep):
+        sequential = sweep.run_all()
+        sharded = sweep.run_all(jobs=2)
+        for seq, par in zip(sequential, sharded):
+            assert seq.spec == par.spec
+            assert seq.makespan == par.makespan
+            assert seq.stats.summary() == par.stats.summary()
+            assert (
+                seq.trace().logical.time_array().tolist()
+                == par.trace().logical.time_array().tolist()
+            )
+            assert (
+                seq.trace().physical.time_array().tolist()
+                == par.trace().physical.time_array().tolist()
+            )
+
+    def test_empty_sweep(self):
+        assert Sweep().run_all() == []
