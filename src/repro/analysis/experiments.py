@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.scenario.scenario import Scenario
+from repro.scenario.scenario import Scenario, ScenarioResult
 from repro.scenario.spec import NetworkSpec, ScenarioSpec, WorkloadSpec
 from repro.scenario.sweep import Sweep
 from repro.sim.engine import SimulationResult
@@ -214,6 +214,13 @@ class ExperimentContext:
                     name="paper-table1-pending",
                 )
                 for configuration, cell in zip(pending, sweep.run_all(jobs=jobs)):
+                    if not isinstance(cell, ScenarioResult):
+                        # Paper cells are deterministic and must all succeed;
+                        # surface an isolated failure instead of caching it.
+                        raise RuntimeError(
+                            f"paper cell {configuration.label} failed: "
+                            f"{cell.error_type}: {cell.error_message}"
+                        )
                     self._admit(configuration, cell.workload, cell.result)
         return [self.run(configuration) for configuration in configurations]
 

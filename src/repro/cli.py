@@ -49,13 +49,18 @@ from repro.analysis.table1 import build_table1, render_table1
 from repro.core.evaluation import evaluate_stream
 from repro.predictive.registry import POLICIES, PREDICTORS
 from repro.scenario import (
+    CachedCell,
+    CellFailure,
     PredictorSpec,
     Scenario,
+    ScenarioResult,
     ScenarioSpec,
+    SweepAborted,
     WorkloadSpec,
+    cell_record,
     load_sweep,
 )
-from repro.sim.registry import MACHINE_PRESETS, NETWORK_PRESETS
+from repro.sim.registry import FAULT_PRESETS, MACHINE_PRESETS, NETWORK_PRESETS
 from repro.trace.io import load_traces
 from repro.trace.streams import sender_stream, size_stream
 from repro.util.text import ascii_table
@@ -111,6 +116,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-traces",
         action="store_true",
         help="with --out: save each cell's two-level traces as <cell>.traces.jsonl",
+    )
+    sweep_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry a transiently-failed cell (worker crash, wall-clock "
+        "timeout) up to N times with exponential backoff (default: 2)",
+    )
+    sweep_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a cell over budget fails with "
+        "TimeLimitExceeded (and is retried, see --max-retries)",
+    )
+    sweep_cmd.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first cell failure (pending cells are cancelled "
+        "and the worker pool shut down cleanly) instead of recording it",
+    )
+    sweep_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --out: skip cells already checkpointed under "
+        "<out>/cells/ from a previous run; only unfinished/failed cells "
+        "re-run",
     )
 
     predict_cmd = sub.add_parser("predict", help="evaluate the predictor on a stream")
@@ -200,25 +234,25 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _sweep_cell_summary(index: int, scenario_result) -> dict:
-    """Deterministic JSON-able record of one finished sweep cell."""
-    stats = scenario_result.stats.summary()
-    stream = scenario_result.summary()
-    return {
-        "cell": index,
-        "label": scenario_result.label,
-        "spec": scenario_result.spec.to_dict(),
-        "makespan": scenario_result.makespan,
-        "stats": stats,
-        "representative_rank": scenario_result.representative_rank,
-        "stream": {
-            "total_messages": stream.total_messages,
-            "p2p_messages": stream.p2p_messages,
-            "collective_messages": stream.collective_messages,
-            "num_distinct_senders": stream.num_distinct_senders,
-            "num_distinct_sizes": stream.num_distinct_sizes,
-        },
-    }
+def _sweep_row(index: int, outcome) -> list:
+    """One ascii-table row for any sweep cell outcome."""
+    if isinstance(outcome, CellFailure):
+        return [
+            index, outcome.label, outcome.spec.policy.kind, "FAILED", "-", "-",
+            f"{outcome.error_type}: {outcome.error_message}"[:48],
+        ]
+    record = outcome.record if isinstance(outcome, CachedCell) else cell_record(outcome)
+    stream = record["stream"]
+    status = "cached" if isinstance(outcome, CachedCell) else "ok"
+    return [
+        index,
+        record["label"],
+        record["spec"]["policy"]["kind"],
+        status,
+        record["stats"]["messages_sent"],
+        f"{record['makespan'] * 1e3:.3f}",
+        stream["total_messages"] if stream is not None else "-",
+    ]
 
 
 def _cmd_sweep(args) -> int:
@@ -231,28 +265,39 @@ def _cmd_sweep(args) -> int:
     if not specs:
         print("sweep expands to zero cells", file=sys.stderr)
         return 2
+    if args.resume and not args.out:
+        print("--resume needs --out (the checkpoint directory)", file=sys.stderr)
+        return 2
     print(
         f"sweep {sweep.name or Path(args.spec).stem!r}: {len(specs)} cells"
         + (f", {args.jobs} jobs" if args.jobs and args.jobs > 1 else ""),
         file=sys.stderr,
     )
-    results = sweep.run_all(jobs=args.jobs)
-    cells = [_sweep_cell_summary(i, r) for i, r in enumerate(results)]
-    rows = [
-        [
-            cell["cell"],
-            cell["label"],
-            result.spec.policy.kind,
-            cell["stats"]["messages_sent"],
-            f"{cell['makespan'] * 1e3:.3f}",
-            cell["stream"]["total_messages"],
-            cell["stream"]["num_distinct_senders"],
-        ]
-        for cell, result in zip(cells, results)
-    ]
+    try:
+        results = sweep.run_all(
+            jobs=args.jobs,
+            max_retries=args.max_retries,
+            timeout=args.timeout,
+            fail_fast=args.fail_fast,
+            out=args.out,
+            resume=args.resume,
+        )
+    except SweepAborted as aborted:
+        print(str(aborted), file=sys.stderr)
+        return 3
+    cells = []
+    failures = []
+    for index, outcome in enumerate(results):
+        if isinstance(outcome, CellFailure):
+            failures.append({"cell": index, **outcome.record()})
+        elif isinstance(outcome, CachedCell):
+            cells.append({"cell": index, **outcome.record})
+        else:
+            cells.append({"cell": index, **cell_record(outcome)})
+    rows = [_sweep_row(index, outcome) for index, outcome in enumerate(results)]
     print(
         ascii_table(
-            ["cell", "label", "policy", "messages", "makespan (ms)", "rank msgs", "senders"],
+            ["cell", "label", "policy", "status", "messages", "makespan (ms)", "rank msgs / error"],
             rows,
             title=f"sweep — {sweep.name or Path(args.spec).stem}",
         )
@@ -262,10 +307,11 @@ def _cmd_sweep(args) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         summary_payload = {
             "format": "repro-sweep-summary",
-            "version": 1,
+            "version": 2,
             "name": sweep.name,
             "spec_file": Path(args.spec).name,
             "cells": cells,
+            "failures": failures,
         }
         summary_path = out_dir / "summary.json"
         summary_path.write_text(
@@ -274,13 +320,23 @@ def _cmd_sweep(args) -> int:
         )
         written = [summary_path.name]
         if args.save_traces:
-            for index, scenario_result in enumerate(results):
-                if scenario_result.result.tracer is None:
+            for index, outcome in enumerate(results):
+                if (
+                    not isinstance(outcome, ScenarioResult)
+                    or outcome.result.tracer is None
+                ):
                     continue
-                trace_path = out_dir / f"cell-{index:02d}-{scenario_result.label}.traces.jsonl"
-                scenario_result.save_traces(trace_path, metadata={"cell": index})
+                trace_path = out_dir / f"cell-{index:02d}-{outcome.label}.traces.jsonl"
+                outcome.save_traces(trace_path, metadata={"cell": index})
                 written.append(trace_path.name)
         print(f"wrote {', '.join(written)} to {out_dir}", file=sys.stderr)
+    if failures:
+        print(
+            f"{len(failures)} of {len(results)} cells failed "
+            f"({', '.join(f['label'] for f in failures)})",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -397,6 +453,7 @@ def _registry_listing() -> dict:
         "predictors": PREDICTORS.describe(),
         "machine_presets": MACHINE_PRESETS.describe(),
         "network_presets": NETWORK_PRESETS.describe(),
+        "fault_presets": FAULT_PRESETS.describe(),
     }
 
 
@@ -419,6 +476,7 @@ def _cmd_list(args) -> int:
         ("predictors", "predictors"),
         ("machine presets", "machine_presets"),
         ("network presets", "network_presets"),
+        ("fault presets", "fault_presets"),
     ):
         print(f"\n{title}:")
         for entry in listing[key]:

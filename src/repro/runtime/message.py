@@ -36,6 +36,10 @@ class Message:
         Time the payload arrived at the destination (filled by the transport).
     payload:
         Optional application payload; the simulator never inspects it.
+    duplicate:
+        True for a fault-injected duplicate copy (a spurious retransmission
+        whose original also arrived): the transport traces it and shows it to
+        the flow-control policy, but never matches it to a posted receive.
     """
 
     src: int
@@ -47,6 +51,7 @@ class Message:
     inject_time: float = 0.0
     arrival_time: float = float("nan")
     payload: object | None = None
+    duplicate: bool = False
     msg_id: int = field(default_factory=lambda: next(_message_ids))
 
     def envelope(self) -> tuple[int, int, int]:

@@ -117,6 +117,12 @@ class Transport:
         Flow-control policy; defaults to :class:`StandardFlowControl`.
     stats:
         Optional pre-existing :class:`RuntimeStats` to accumulate into.
+    faults:
+        Optional :class:`repro.sim.faults.FaultInjector`.  The transport
+        consults it (only when its drop model is active) for data payloads:
+        dropped messages arrive late after deterministic retransmission
+        delays, and spurious duplicates are delivered — traced and shown to
+        the policy — without ever matching a posted receive.
     """
 
     def __init__(
@@ -127,6 +133,7 @@ class Transport:
         tracer: TwoLevelTracer | None = None,
         policy: FlowControlPolicy | None = None,
         stats: RuntimeStats | None = None,
+        faults=None,
     ) -> None:
         if nprocs <= 0:
             raise ValueError(f"nprocs must be positive, got {nprocs}")
@@ -166,6 +173,9 @@ class Transport:
         #: reuse is invisible to applications.  Bounded by the number of
         #: concurrently blocked ranks, i.e. tiny.
         self._request_pool: list[Request] = []
+        # Consulted per data payload only when the drop model can fire; a
+        # null/absent injector keeps the delivery path branch-free.
+        self._faults = faults if faults is not None and faults.drop_active else None
         self._engine = None
         self._schedule_delivery = None
         self._channel_last_arrival: dict[tuple[int, int], float] = {}
@@ -276,7 +286,7 @@ class Transport:
         inject = now + self._send_overhead
         message.inject_time = inject
         if use_eager:
-            arrival = self._data_arrival(rank, dst, nbytes, inject)
+            arrival = self._data_arrival(message, inject)
             message.arrival_time = arrival
             schedule_delivery = self._schedule_delivery
             if schedule_delivery is not None:
@@ -326,9 +336,35 @@ class Transport:
     # ------------------------------------------------------------------
     # Internal protocol steps
     # ------------------------------------------------------------------
-    def _data_arrival(self, src: int, dst: int, nbytes: int, inject: float) -> float:
-        """Arrival time of a payload, respecting per-channel FIFO order."""
-        arrival = self.network.arrival_time(src, dst, nbytes, inject)
+    def _data_arrival(self, message: Message, inject: float) -> float:
+        """Arrival time of a payload, respecting per-channel FIFO order.
+
+        When a fault injector with an active drop model is attached, a
+        dropped payload picks up its deterministic retransmission delay
+        *before* the FIFO clamp: like MPI over a reliable transport, the
+        lost message head-of-line blocks its channel, so later traffic on
+        the same channel queues behind the recovery (and arrives as a
+        back-to-back burst).  A spurious duplicate copy is scheduled at the
+        original, undelayed arrival time; it bypasses the FIFO bookkeeping
+        because it is never matched.
+        """
+        src = message.src
+        dst = message.dst
+        arrival = self.network.arrival_time(src, dst, message.nbytes, inject)
+        faults = self._faults
+        if faults is not None:
+            delay, duplicate = faults.data_fault()
+            if delay > 0.0:
+                if duplicate:
+                    ghost = Message(
+                        src, dst, message.tag, message.nbytes, message.kind,
+                        message.protocol,
+                    )
+                    ghost.duplicate = True
+                    ghost.inject_time = inject
+                    ghost.arrival_time = arrival
+                    self._schedule_data(arrival, ghost, None)
+                arrival += delay
         key = (src, dst)
         last = self._channel_last_arrival.get(key, 0.0)
         if arrival <= last:
@@ -362,7 +398,7 @@ class Transport:
         """CTS arrived back at the sender: push the payload."""
         message = state.message
         data_inject = arrival + self._handshake_cpu
-        data_arrival = self._data_arrival(message.src, message.dst, message.nbytes, data_inject)
+        data_arrival = self._data_arrival(message, data_inject)
         message.arrival_time = data_arrival
         send_done = data_inject + self.network.serialization_time(message.nbytes)
         state.send_request._complete(send_done)
@@ -409,6 +445,11 @@ class Transport:
         endpoint = self._endpoints[dst]
         stats = self.stats
         for message, posted in burst:
+            if message.duplicate:
+                # Fault-injected duplicate copy: already traced and shown to
+                # the policy above; a real receiver deduplicates by sequence
+                # number, so it never reaches MPI matching or statistics.
+                continue
             if posted is not None:
                 # Rendezvous payload: the receive was matched during the handshake.
                 stats.record_delivery(expected=True)

@@ -37,6 +37,7 @@ addressable from every spec, TOML file, and the ``repro sweep`` CLI.
 from repro.scenario.scenario import Scenario, ScenarioResult
 from repro.scenario.shorthand import coerce_scalar, parse_params, split_shorthand
 from repro.scenario.spec import (
+    FaultSpec,
     MachineSpec,
     NetworkSpec,
     PolicySpec,
@@ -45,7 +46,14 @@ from repro.scenario.spec import (
     TraceSpec,
     WorkloadSpec,
 )
-from repro.scenario.sweep import Sweep, load_sweep
+from repro.scenario.sweep import (
+    CachedCell,
+    CellFailure,
+    Sweep,
+    SweepAborted,
+    cell_record,
+    load_sweep,
+)
 
 __all__ = [
     "Scenario",
@@ -54,10 +62,15 @@ __all__ = [
     "WorkloadSpec",
     "MachineSpec",
     "NetworkSpec",
+    "FaultSpec",
     "PolicySpec",
     "PredictorSpec",
     "TraceSpec",
     "Sweep",
+    "SweepAborted",
+    "CellFailure",
+    "CachedCell",
+    "cell_record",
     "load_sweep",
     "coerce_scalar",
     "parse_params",

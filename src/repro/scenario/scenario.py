@@ -118,6 +118,8 @@ class Scenario:
             policy=policy,
             seed=spec.seed,
             max_events=spec.max_events,
+            max_wall_seconds=spec.max_wall_seconds,
+            faults=spec.faults.build(spec.seed),
         )
         factory = workload.program_for if spec.compiled else workload.program
         result = simulator.run([factory])

@@ -31,15 +31,18 @@ exactly like the default one, on every path.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import tomllib
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Mapping
 
 from repro.scenario.shorthand import split_shorthand
+from repro.sim.faults import FaultConfig
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkConfig
-from repro.sim.registry import create_machine, create_network
+from repro.sim.registry import create_faults, create_machine, create_network
 from repro.predictive.registry import create_policy, predictor_factory
 from repro.workloads.base import Workload
 from repro.workloads.registry import LABEL_ABBREVIATIONS, create_workload
@@ -48,6 +51,7 @@ __all__ = [
     "WorkloadSpec",
     "MachineSpec",
     "NetworkSpec",
+    "FaultSpec",
     "PolicySpec",
     "PredictorSpec",
     "TraceSpec",
@@ -349,6 +353,76 @@ class NetworkSpec:
         }
 
 
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fault-injection preset name, an optional pinned seed, and overrides.
+
+    The default preset ``"none"`` resolves to a null :class:`FaultConfig`
+    (all rates zero), for which the scenario layer builds *no* injector at
+    all — a spec with the default fault table is bit-identical to one that
+    predates fault injection.  ``seed=None`` derives the fault streams from
+    the scenario seed; pinning it holds the fault schedule fixed while the
+    rest of the run (jitter, compute noise) varies with the experiment seed.
+    """
+
+    preset: str = "none"
+    seed: int | None = None
+    overrides: tuple = ()
+
+    def __post_init__(self) -> None:
+        overrides = dict(_freeze_items(self.overrides))
+        if "seed" in overrides:  # normalise: the field owns the seed
+            pinned = overrides.pop("seed")
+            if self.seed is not None and self.seed != pinned:
+                raise ValueError(
+                    f"fault spec pins seed twice: {self.seed} and {pinned}"
+                )
+            object.__setattr__(self, "seed", pinned)
+        object.__setattr__(self, "overrides", _freeze_items(overrides))
+
+    def build(self, run_seed: int) -> FaultConfig:
+        """Resolve to a :class:`FaultConfig` with the seed settled."""
+        seed = self.seed if self.seed is not None else run_seed
+        return create_faults(self.preset, seed=seed, **_items_dict(self.overrides))
+
+    @classmethod
+    def coerce(cls, value) -> "FaultSpec":
+        """Accept a spec, None, a shorthand string, a dict, or a FaultConfig."""
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if isinstance(value, FaultConfig):
+            return cls.from_config(value)
+        if isinstance(value, str):
+            preset, params = split_shorthand(value)
+            return cls(preset=preset, overrides=params)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            preset = data.pop("preset", "none")
+            seed = data.pop("seed", None)
+            overrides = dict(data.pop("overrides", {}))
+            overrides.update(data)
+            return cls(preset=preset, seed=seed, overrides=overrides)
+        raise TypeError(f"cannot build a FaultSpec from {value!r}")
+
+    @classmethod
+    def from_config(cls, config: FaultConfig) -> "FaultSpec":
+        """Spec-ify an existing configuration (non-default fields become
+        overrides; an unpinned seed stays derivable)."""
+        return cls(
+            seed=config.seed,
+            overrides=_config_overrides(config, exclude=("seed",)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "overrides": _items_dict(self.overrides),
+        }
+
+
 # ----------------------------------------------------------------------
 # Policy / predictor / trace
 # ----------------------------------------------------------------------
@@ -482,25 +556,33 @@ class ScenarioSpec:
     seed: int = 2003
     machine: MachineSpec = MachineSpec()
     network: NetworkSpec = NetworkSpec()
+    faults: FaultSpec = FaultSpec()
     policy: PolicySpec = PolicySpec()
     predictor: PredictorSpec = PredictorSpec()
     trace: TraceSpec = TraceSpec()
     name: str | None = None
     max_events: int | None = None
+    max_wall_seconds: float | None = None
     compiled: bool = True
 
-    _FIELDS = ("workload", "seed", "machine", "network", "policy", "predictor",
-               "trace", "name", "max_events", "compiled")
+    _FIELDS = ("workload", "seed", "machine", "network", "faults", "policy",
+               "predictor", "trace", "name", "max_events", "max_wall_seconds",
+               "compiled")
 
     def __post_init__(self) -> None:
         coerce = object.__setattr__
         coerce(self, "workload", WorkloadSpec.coerce(self.workload))
         coerce(self, "machine", MachineSpec.coerce(self.machine))
         coerce(self, "network", NetworkSpec.coerce(self.network))
+        coerce(self, "faults", FaultSpec.coerce(self.faults))
         coerce(self, "policy", PolicySpec.coerce(self.policy))
         coerce(self, "predictor", PredictorSpec.coerce(self.predictor))
         coerce(self, "trace", TraceSpec.coerce(self.trace))
         coerce(self, "seed", int(self.seed))
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ValueError(
+                f"max_wall_seconds must be positive, got {self.max_wall_seconds}"
+            )
 
     # -- identity ----------------------------------------------------------
     @property
@@ -558,9 +640,23 @@ class ScenarioSpec:
             "workload": self.workload.to_dict(),
             "machine": self.machine.to_dict(),
             "network": self.network.to_dict(),
+            "faults": self.faults.to_dict(),
             "policy": self.policy.to_dict(),
             "predictor": self.predictor.to_dict(),
             "trace": self.trace.to_dict(),
             "max_events": self.max_events,
+            "max_wall_seconds": self.max_wall_seconds,
             "compiled": self.compiled,
         }
+
+    def content_hash(self) -> str:
+        """Stable identity of this spec's canonical dict form.
+
+        The sweep engine keys its resumable on-disk manifest by this hash:
+        two specs with identical canonical dicts — however they were
+        constructed — share cached results, and any field change produces a
+        new cell.  Sixteen hex digits (64 bits) keep manifest file names
+        short while making accidental collision within one sweep negligible.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

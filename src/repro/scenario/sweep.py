@@ -10,6 +10,10 @@ A :class:`Sweep` describes a family of scenarios three ways, freely combined:
 * ``cells`` — an explicit list of cells, each either a full spec or a patch
   dict deep-merged over ``base`` (so a cell states only what differs).
 
+Grid paths are validated against the spec schema at construction time, so a
+typo (``"network.overrides.jitter_sgima"``) fails immediately with the
+nearest valid paths instead of silently materialising a table nobody reads.
+
 :meth:`Sweep.expand` materialises the cell list in deterministic order (grid
 cells first, in row-major product order; explicit cells after).  Every cell
 is an independent seeded simulation, so :meth:`Sweep.run_all` with
@@ -17,6 +21,15 @@ is an independent seeded simulation, so :meth:`Sweep.run_all` with
 — longest-expected-first submission, results merged back in expansion
 order — and is bit-identical to a sequential run, the same contract the
 paper-sweep runner has had since the sharded experiment context.
+
+Fault tolerance: each cell runs isolated.  A cell that raises produces a
+structured :class:`CellFailure` in the result list (the other cells still
+run and return); transient failures — a worker process dying, a cell blowing
+its wall-clock budget — are retried with exponential backoff; with an output
+directory, finished cells are checkpointed on disk (``cells/<hash>.json``,
+keyed by :meth:`ScenarioSpec.content_hash`) so ``resume=True`` re-runs only
+the cells that have not completed.  See :doc:`docs/scenarios` for the full
+failure-handling contract.
 
 TOML form (``repro sweep my_sweep.toml``)::
 
@@ -40,21 +53,294 @@ A TOML file without ``base``/``grid``/``cells`` keys is read as a single
 from __future__ import annotations
 
 import copy
+import dataclasses
+import difflib
 import itertools
+import json
+import os
+import time
 import tomllib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.scenario.scenario import Scenario, ScenarioResult
 from repro.scenario.spec import ScenarioSpec
+from repro.sim.errors import TimeLimitExceeded
+from repro.sim.faults import FaultConfig
+from repro.sim.machine import MachineConfig
+from repro.sim.network import NetworkConfig
 
-__all__ = ["Sweep", "load_sweep"]
+__all__ = [
+    "CachedCell",
+    "CellFailure",
+    "Sweep",
+    "SweepAborted",
+    "cell_record",
+    "load_sweep",
+]
 
 
 def _run_spec(spec: ScenarioSpec) -> ScenarioResult:
     """Run one cell (module-level so the process pool can pickle it)."""
     return Scenario(spec).run()
+
+
+def _run_cell(spec: ScenarioSpec, timeout: float | None) -> ScenarioResult:
+    """Run one cell under an optional wall-clock budget.
+
+    The budget rides on the simulator's own ``max_wall_seconds`` guard, so a
+    livelocked cell kills *itself* (with :class:`TimeLimitExceeded`) instead
+    of leaving a hung worker process behind — and the guard works the same
+    whether the cell runs in-process or in a pool worker.  The returned
+    result keeps the caller's original spec so checkpoints and summaries are
+    byte-identical with and without a timeout in force.
+    """
+    run_spec = spec
+    if timeout is not None and (
+        spec.max_wall_seconds is None or timeout < spec.max_wall_seconds
+    ):
+        run_spec = spec.with_overrides(max_wall_seconds=timeout)
+    result = Scenario(run_spec).run()
+    if run_spec is not spec:
+        result.spec = spec
+    return result
+
+
+# ----------------------------------------------------------------------
+# Cell outcomes
+# ----------------------------------------------------------------------
+@dataclass
+class CellFailure:
+    """One cell that did not produce a result.
+
+    Appears in :meth:`Sweep.run_all` output in place of the cell's
+    :class:`ScenarioResult`; the other cells are unaffected.  The record is
+    deterministic (exception type and message, no wall times), so a summary
+    that includes failures is still byte-stable across reruns.
+    """
+
+    spec: ScenarioSpec
+    error_type: str
+    error_message: str
+    attempts: int = 1
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    @property
+    def spec_hash(self) -> str:
+        return self.spec.content_hash()
+
+    def record(self) -> dict:
+        """Deterministic JSON-able form (what ``summary.json`` stores)."""
+        return {
+            "label": self.label,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class CachedCell:
+    """A cell satisfied from the on-disk checkpoint instead of re-running.
+
+    Holds the stored :func:`cell_record` payload; the heavyweight
+    :class:`ScenarioResult` (traces, streams) is gone — a resumed sweep
+    trades re-simulation for summary-level results on the finished cells.
+    """
+
+    spec: ScenarioSpec
+    record: dict = field(repr=False)
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    @property
+    def spec_hash(self) -> str:
+        return self.spec.content_hash()
+
+
+class SweepAborted(RuntimeError):
+    """Raised by ``run_all(fail_fast=True)`` on the first cell failure.
+
+    Carries the triggering :class:`CellFailure`; pending cells were cancelled
+    and the worker pool was shut down before this was raised.
+    """
+
+    def __init__(self, failure: CellFailure) -> None:
+        self.failure = failure
+        super().__init__(
+            f"sweep aborted (fail-fast): cell {failure.label!r} failed with "
+            f"{failure.error_type}: {failure.error_message}"
+        )
+
+
+def cell_record(scenario_result: ScenarioResult) -> dict:
+    """Deterministic JSON-able record of one finished sweep cell.
+
+    This is both the per-cell payload of ``repro sweep``'s ``summary.json``
+    and the checkpoint format of the resumable manifest.  Traceless runs
+    (``trace.enabled = false``) get ``stream: null``; fault-injected runs
+    carry the injector's counters.
+    """
+    stats = scenario_result.stats.summary()
+    record = {
+        "label": scenario_result.label,
+        "spec": scenario_result.spec.to_dict(),
+        "spec_hash": scenario_result.spec.content_hash(),
+        "makespan": scenario_result.makespan,
+        "stats": stats,
+        "representative_rank": scenario_result.representative_rank,
+    }
+    if scenario_result.result.tracer is not None:
+        stream = scenario_result.summary()
+        record["stream"] = {
+            "total_messages": stream.total_messages,
+            "p2p_messages": stream.p2p_messages,
+            "collective_messages": stream.collective_messages,
+            "num_distinct_senders": stream.num_distinct_senders,
+            "num_distinct_sizes": stream.num_distinct_sizes,
+        }
+    else:
+        record["stream"] = None
+    if scenario_result.result.fault_stats is not None:
+        record["fault_stats"] = scenario_result.result.fault_stats
+    return record
+
+
+# ----------------------------------------------------------------------
+# Resumable on-disk manifest
+# ----------------------------------------------------------------------
+class _Manifest:
+    """Content-addressed checkpoint store under ``<out>/cells/``.
+
+    One JSON file per *successful* cell, named by the spec's
+    :meth:`~ScenarioSpec.content_hash` — failures are never checkpointed, so
+    a resumed sweep re-runs exactly the cells that have not succeeded yet,
+    regardless of what changed between invocations.
+    """
+
+    def __init__(self, out: str | Path) -> None:
+        self.dir = Path(out) / "cells"
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def load(self, spec_hash: str) -> dict | None:
+        path = self.dir / f"{spec_hash}.json"
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, spec_hash: str, record: dict) -> None:
+        path = self.dir / f"{spec_hash}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)  # atomic: a killed sweep never leaves torn cells
+
+
+# ----------------------------------------------------------------------
+# Grid-path validation
+# ----------------------------------------------------------------------
+#: Scalar ScenarioSpec fields: a grid path may target them but not descend.
+_SCALAR_FIELDS = ("seed", "name", "max_events", "max_wall_seconds", "compiled")
+
+#: Config-backed nodes: structural spec keys plus the backing dataclass whose
+#: field names are valid both flat (``network.latency``) and under
+#: ``overrides.`` (``network.overrides.latency``).
+_CONFIG_NODES = {
+    "machine": (MachineConfig, ("preset", "overrides")),
+    "network": (NetworkConfig, ("preset", "seed", "overrides")),
+    "faults": (FaultConfig, ("preset", "seed", "overrides")),
+}
+
+#: Open-parameter nodes: unknown second keys are component constructor
+#: parameters by design (they land in ``params``), so any flat key passes.
+_PARAM_NODES = ("workload", "policy", "predictor")
+
+
+def _suggest(key: str, candidates) -> str:
+    matches = difflib.get_close_matches(key, sorted(candidates), n=3)
+    if matches:
+        return f"; did you mean {' or '.join(repr(m) for m in matches)}?"
+    return f"; valid keys: {sorted(candidates)}"
+
+
+def _validate_grid_path(path: str) -> None:
+    """Check one dotted grid path against the ScenarioSpec schema.
+
+    Raises ValueError naming the bad path and the nearest valid keys.  This
+    runs at :class:`Sweep` construction, before any cell is expanded — a
+    typo'd path used to silently create a nested table that nothing reads.
+    """
+    keys = [key for key in path.split(".") if key]
+    if not keys:
+        raise ValueError("empty grid path")
+    head = keys[0]
+    if head not in ScenarioSpec._FIELDS:
+        raise ValueError(
+            f"grid path {path!r}: {head!r} is not a scenario spec field"
+            + _suggest(head, ScenarioSpec._FIELDS)
+        )
+    if head in _SCALAR_FIELDS:
+        if len(keys) > 1:
+            raise ValueError(
+                f"grid path {path!r} descends into scalar field {head!r}; "
+                f"use {head!r} itself"
+            )
+        return
+    if head == "trace":
+        if len(keys) == 1:
+            return
+        if len(keys) == 2 and keys[1] in ("enabled", "path"):
+            return
+        raise ValueError(
+            f"grid path {path!r}: trace keys are 'enabled' and 'path'"
+            + ("" if len(keys) == 2 else " (one level deep)")
+        )
+    if head in _CONFIG_NODES:
+        config_cls, structural = _CONFIG_NODES[head]
+        fields = tuple(f.name for f in dataclasses.fields(config_cls))
+        if len(keys) == 1:
+            return  # whole-node replacement (shorthand strings / tables)
+        if len(keys) == 2:
+            if keys[1] in structural or keys[1] in fields:
+                return
+            raise ValueError(
+                f"grid path {path!r}: {keys[1]!r} is neither a {head} spec "
+                f"key nor a {config_cls.__name__} field"
+                + _suggest(keys[1], set(structural) | set(fields))
+            )
+        if len(keys) == 3 and keys[1] == "overrides":
+            if keys[2] in fields:
+                return
+            raise ValueError(
+                f"grid path {path!r}: {keys[2]!r} is not a "
+                f"{config_cls.__name__} field" + _suggest(keys[2], fields)
+            )
+        raise ValueError(
+            f"grid path {path!r} is too deep for {head!r}; sweep "
+            f"'{head}.<field>' or '{head}.overrides.<field>'"
+        )
+    # Open-parameter nodes (workload / policy / predictor).
+    if len(keys) <= 2:
+        return  # flat keys become constructor params by design
+    if len(keys) == 3 and keys[1] == "params":
+        return
+    raise ValueError(
+        f"grid path {path!r} is too deep for {head!r}; sweep "
+        f"'{head}.<key>' or '{head}.params.<key>'"
+    )
 
 
 def _set_path(data: dict, path: str, value) -> None:
@@ -102,7 +388,8 @@ class Sweep:
     grid:
         Ordered mapping of dotted spec paths to value lists; expanded as a
         cartesian product over ``base`` in row-major order (first path varies
-        slowest).
+        slowest).  Paths are validated against the spec schema here, at
+        construction.
     cells:
         Explicit cells: full specs, or patch dicts merged over ``base``.
     name:
@@ -129,6 +416,7 @@ class Sweep:
         if self.grid and self.base is None:
             raise ValueError("a grid sweep needs a base spec to patch")
         for path, values in self.grid.items():
+            _validate_grid_path(path)
             if not values:
                 raise ValueError(f"grid path {path!r} has no values")
 
@@ -197,29 +485,250 @@ class Sweep:
             )
         return specs
 
-    def run_all(self, jobs: int | None = None) -> list[ScenarioResult]:
-        """Run every cell and return results in :meth:`expand` order.
+    def run_all(
+        self,
+        jobs: int | None = None,
+        *,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        timeout: float | None = None,
+        fail_fast: bool = False,
+        out: str | Path | None = None,
+        resume: bool = False,
+    ) -> list[ScenarioResult | CachedCell | CellFailure]:
+        """Run every cell and return outcomes in :meth:`expand` order.
 
         ``jobs`` of ``None``/``1`` runs sequentially in-process; ``jobs > 1``
         fans the cells over a process pool (longest-expected-first
         submission, deterministic merge).  Each cell derives all its
         randomness from its own spec, so sharded results are bit-identical
         to sequential ones.
+
+        Cells are isolated: a raising cell yields a :class:`CellFailure` in
+        its slot and every other cell still runs.  *Transient* failures — a
+        worker process dying (:class:`BrokenProcessPool`) or a cell
+        exceeding ``timeout`` seconds of wall clock
+        (:class:`~repro.sim.errors.TimeLimitExceeded`) — are retried up to
+        ``max_retries`` times with exponential backoff
+        (``retry_backoff * 2**attempt`` seconds); deterministic exceptions
+        are not retried, the rerun would fail identically.  After a worker
+        death the pool is unusable and cannot name the culprit, so the
+        remaining cells re-run in *quarantine*: one single-worker pool each,
+        where a crash indicts exactly one cell.
+
+        ``out`` checkpoints each successful cell under ``<out>/cells/`` keyed
+        by spec content hash; ``resume=True`` (requires ``out``) satisfies
+        already-checkpointed cells from disk as :class:`CachedCell` without
+        re-running them.  ``fail_fast=True`` cancels pending cells, shuts the
+        pool down (no leaked workers), and raises :class:`SweepAborted` on
+        the first failure instead of recording it.
         """
+        if resume and out is None:
+            raise ValueError("run_all(resume=True) needs an output directory (out=)")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         specs = self.expand()
         if not specs:
             return []
-        if jobs is None or jobs <= 1 or len(specs) == 1:
-            return [_run_spec(spec) for spec in specs]
-        by_cost = sorted(
-            range(len(specs)), key=lambda i: specs[i].cost_hint(), reverse=True
+        manifest = _Manifest(out) if out is not None else None
+        results: list[ScenarioResult | CachedCell | CellFailure | None]
+        results = [None] * len(specs)
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            cached = manifest.load(spec.content_hash()) if resume else None
+            if cached is not None:
+                results[index] = CachedCell(spec=spec, record=cached)
+            else:
+                pending.append(index)
+
+        runner = _CellRunner(
+            specs=specs,
+            results=results,
+            manifest=manifest,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            timeout=timeout,
+            fail_fast=fail_fast,
         )
-        results: list[ScenarioResult | None] = [None] * len(specs)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            futures = {index: pool.submit(_run_spec, specs[index]) for index in by_cost}
-            for index in range(len(specs)):
-                results[index] = futures[index].result()
+        if jobs is None or jobs <= 1 or len(pending) <= 1:
+            runner.run_sequential(pending)
+        else:
+            runner.run_pooled(pending, jobs)
         return results  # type: ignore[return-value]
+
+
+class _CellRunner:
+    """Shared state of one :meth:`Sweep.run_all` invocation."""
+
+    def __init__(
+        self, *, specs, results, manifest, max_retries, retry_backoff, timeout,
+        fail_fast,
+    ) -> None:
+        self.specs = specs
+        self.results = results
+        self.manifest = manifest
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.timeout = timeout
+        self.fail_fast = fail_fast
+
+    # -- outcome bookkeeping -------------------------------------------
+    def _record_success(self, index: int, result: ScenarioResult) -> None:
+        self.results[index] = result
+        if self.manifest is not None:
+            self.manifest.store(result.spec.content_hash(), cell_record(result))
+
+    def _record_failure(self, index: int, failure: CellFailure) -> None:
+        if self.fail_fast:
+            raise SweepAborted(failure)
+        self.results[index] = failure
+
+    def _backoff(self, attempt: int) -> None:
+        time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    def _failure(self, index: int, exc: BaseException, attempts: int) -> CellFailure:
+        return CellFailure(
+            spec=self.specs[index],
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            attempts=attempts,
+        )
+
+    # -- sequential ----------------------------------------------------
+    def run_sequential(self, pending: list[int]) -> None:
+        for index in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    self._record_success(
+                        index, _run_cell(self.specs[index], self.timeout)
+                    )
+                    break
+                except TimeLimitExceeded as exc:
+                    if attempts > self.max_retries:
+                        self._record_failure(index, self._failure(index, exc, attempts))
+                        break
+                    self._backoff(attempts)
+                except Exception as exc:  # deterministic: a retry fails the same way
+                    self._record_failure(index, self._failure(index, exc, attempts))
+                    break
+
+    # -- pooled --------------------------------------------------------
+    def run_pooled(self, pending: list[int], jobs: int) -> None:
+        unfinished = list(pending)
+        attempts = {index: 0 for index in pending}
+        round_number = 0
+        while unfinished:
+            round_number += 1
+            if round_number > 1:
+                self._backoff(round_number - 1)
+            unfinished = self._pool_round(unfinished, jobs, attempts)
+
+    def _pool_round(
+        self, pending: list[int], jobs: int, attempts: dict[int, int]
+    ) -> list[int]:
+        """One pool pass over ``pending``; returns indices needing another.
+
+        Healthy path: every future resolves, transient failures collect for
+        the next round.  If the pool breaks (a worker died), completed
+        futures are still harvested, and the survivors re-run in quarantine
+        — one single-worker pool per cell — so the next crash indicts
+        exactly one cell instead of poisoning the batch.
+        """
+        by_cost = sorted(
+            pending, key=lambda index: self.specs[index].cost_hint(), reverse=True
+        )
+        retry: list[int] = []
+        broken = False
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        try:
+            futures = {}
+            for index in by_cost:
+                attempts[index] += 1
+                futures[index] = pool.submit(
+                    _run_cell, self.specs[index], self.timeout
+                )
+            for index in pending:
+                future = futures[index]
+                try:
+                    self._record_success(index, future.result())
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                except TimeLimitExceeded as exc:
+                    if attempts[index] > self.max_retries:
+                        self._record_failure(
+                            index, self._failure(index, exc, attempts[index])
+                        )
+                    else:
+                        retry.append(index)
+                except Exception as exc:
+                    self._record_failure(
+                        index, self._failure(index, exc, attempts[index])
+                    )
+            if broken:
+                retry.extend(self._harvest_broken(futures, pending, attempts))
+        finally:
+            # Covers the fail-fast SweepAborted path too: futures that never
+            # started are cancelled, running workers drain, nothing leaks.
+            pool.shutdown(wait=True, cancel_futures=True)
+        if broken and retry:
+            return self._quarantine(retry, attempts)
+        return retry
+
+    def _harvest_broken(
+        self, futures: dict, pending: list[int], attempts: dict[int, int]
+    ) -> list[int]:
+        """Salvage finished futures from a broken pool; the rest re-run.
+
+        A cell whose future never ran (cancelled or broken-pool poisoned)
+        was not genuinely attempted, so its attempt charge is refunded —
+        only the crash culprit should burn retry budget, and quarantine is
+        what identifies it.
+        """
+        unfinished: list[int] = []
+        for index in pending:
+            if self.results[index] is not None:
+                continue
+            future = futures[index]
+            try:
+                self._record_success(index, future.result(timeout=0))
+            except Exception:
+                attempts[index] -= 1
+                unfinished.append(index)
+        return unfinished
+
+    def _quarantine(self, pending: list[int], attempts: dict[int, int]) -> list[int]:
+        """Re-run cells one per single-worker pool after a worker death."""
+        retry: list[int] = []
+        for index in pending:
+            attempts[index] += 1
+            try:
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    self._record_success(
+                        index,
+                        solo.submit(_run_cell, self.specs[index], self.timeout)
+                        .result(),
+                    )
+            except (BrokenProcessPool, TimeLimitExceeded) as exc:
+                if attempts[index] > self.max_retries:
+                    failure = self._failure(index, exc, attempts[index])
+                    if isinstance(exc, BrokenProcessPool):
+                        failure.error_type = "WorkerCrash"
+                        failure.error_message = (
+                            "worker process died while running this cell "
+                            "(killed or crashed hard)"
+                        )
+                    self._record_failure(index, failure)
+                else:
+                    retry.append(index)
+            except Exception as exc:
+                self._record_failure(index, self._failure(index, exc, attempts[index]))
+        if retry:
+            self._backoff(max(attempts[index] for index in retry))
+            return self._quarantine(retry, attempts)
+        return []
 
 
 def load_sweep(path: str | Path) -> Sweep:

@@ -14,26 +14,40 @@ IBM RS/6000 + MPICH testbed:
 """
 
 from repro.sim.engine import RankState, SimulationResult, Simulator
-from repro.sim.errors import ConfigurationError, DeadlockError, SimulationError
+from repro.sim.errors import (
+    ConfigurationError,
+    DeadlockError,
+    SimulationError,
+    TimeLimitExceeded,
+)
 from repro.sim.events import EVENT_CALLBACK, EVENT_DELIVER, EVENT_STEP, EventQueue
+from repro.sim.faults import FaultConfig, FaultInjector
 from repro.sim.machine import MachineConfig
 from repro.sim.network import NetworkConfig, NetworkModel
 from repro.sim.registry import (
+    create_faults,
     create_machine,
     create_network,
+    fault_preset_names,
     machine_preset_names,
     network_preset_names,
+    register_fault_preset,
     register_machine_preset,
     register_network_preset,
 )
 
 __all__ = [
+    "create_faults",
     "create_machine",
     "create_network",
+    "fault_preset_names",
     "machine_preset_names",
     "network_preset_names",
+    "register_fault_preset",
     "register_machine_preset",
     "register_network_preset",
+    "FaultConfig",
+    "FaultInjector",
     "EVENT_CALLBACK",
     "EVENT_DELIVER",
     "EVENT_STEP",
@@ -45,6 +59,7 @@ __all__ = [
     "SimulationResult",
     "RankState",
     "SimulationError",
+    "TimeLimitExceeded",
     "DeadlockError",
     "ConfigurationError",
 ]

@@ -56,6 +56,7 @@ import gc
 from dataclasses import dataclass, field
 from enum import Enum
 from heapq import heappop as _heappop, heappush as _heappush
+from time import monotonic as _monotonic
 from typing import Callable, Generator, Sequence
 
 from repro.mpi.communicator import Communicator, RankContext
@@ -79,7 +80,13 @@ from repro.mpi.ops import (
 from repro.mpi.request import Request
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.transport import Transport
-from repro.sim.errors import DeadlockError, ProgramError, SimulationError
+from repro.sim.errors import (
+    DeadlockError,
+    ProgramError,
+    SimulationError,
+    TimeLimitExceeded,
+)
+from repro.sim.faults import FaultConfig, FaultInjector
 from repro.sim.events import (
     EV_A,
     EV_B,
@@ -166,6 +173,9 @@ class SimulationResult:
     stats: RuntimeStats
     tracer: TwoLevelTracer | None
     buffer_stats: list = field(default_factory=list)
+    #: Fault-injection accounting (:meth:`FaultInjector.counters`), or None
+    #: when the run had no active fault models.
+    fault_stats: dict | None = None
 
     def trace_for(self, rank: int):
         """Convenience accessor for one rank's :class:`ProcessTrace`."""
@@ -209,6 +219,18 @@ class Simulator:
     max_events:
         Safety limit on processed events; exceeding it raises
         :class:`SimulationError` (guards against runaway programs).
+    max_wall_seconds:
+        Safety limit on *real* elapsed time for :meth:`run`; exceeding it
+        raises :class:`SimulationError`.  Complements ``max_events`` (which
+        bounds work) and :class:`DeadlockError` (which catches drained-queue
+        hangs): this one catches livelocked or pathologically slow runs that
+        keep producing events.
+    faults:
+        Optional fault injection: a :class:`FaultConfig` (an injector is
+        built from it, seeded from the run seed unless the config pins one)
+        or a pre-built :class:`FaultInjector`.  A null config (all rates
+        zero) is ignored entirely, so the run is bit-identical to passing
+        ``None``.
 
     A ``Simulator`` instance is **single-use**: :meth:`run` consumes the
     event queue, transport matching state and jitter RNG streams, so a second
@@ -226,6 +248,8 @@ class Simulator:
         policy=None,
         seed: int = 12345,
         max_events: int | None = None,
+        max_wall_seconds: float | None = None,
+        faults: FaultConfig | FaultInjector | None = None,
     ) -> None:
         if nprocs <= 0:
             raise ValueError(f"nprocs must be positive, got {nprocs}")
@@ -249,12 +273,24 @@ class Simulator:
         self.tracer = tracer
         self.seed = seed
         self.max_events = max_events
+        self.max_wall_seconds = max_wall_seconds
+        if isinstance(faults, FaultConfig):
+            faults = None if faults.is_null else FaultInjector(faults, seed)
+        self.faults = faults
+        if faults is not None:
+            self.network.attach_faults(faults)
+        # Bound stall hook, or None: checked once per compute phase, so the
+        # fault-free hot path pays a single identity test.
+        self._fault_stall = (
+            faults.stall if faults is not None and faults.stall_active else None
+        )
         self.transport = Transport(
             nprocs=nprocs,
             machine=self.machine,
             network=self.network,
             tracer=self.tracer,
             policy=policy,
+            faults=faults,
         )
         self.transport.attach(self)
         self._queue = EventQueue()
@@ -384,6 +420,7 @@ class Simulator:
             stats=self.transport.stats,
             tracer=self.tracer,
             buffer_stats=self.transport.buffer_stats(),
+            fault_stats=self.faults.counters() if self.faults is not None else None,
         )
 
     def _run_loop(self) -> None:
@@ -407,6 +444,11 @@ class Simulator:
         heappop = _heappop
         deliver_burst = self.transport.deliver_burst
         max_events = self.max_events
+        wall_deadline = (
+            _monotonic() + self.max_wall_seconds
+            if self.max_wall_seconds is not None
+            else None
+        )
         step = self._step
         step_compiled = self._step_compiled
         current = self.time
@@ -486,6 +528,15 @@ class Simulator:
                     f"exceeded max_events={self.max_events}; "
                     "the workload is larger than expected or the simulation is livelocked"
                 )
+            if (
+                wall_deadline is not None
+                and not (queue._popped & 1023)
+                and _monotonic() > wall_deadline
+            ):
+                raise TimeLimitExceeded(
+                    f"exceeded max_wall_seconds={self.max_wall_seconds:g}; "
+                    "the simulation is livelocked or far larger than expected"
+                )
 
     # ------------------------------------------------------------------
     # Rank stepping
@@ -546,6 +597,8 @@ class Simulator:
             seconds = state.cp_seconds[i]
             if state.cp_a[i]:
                 seconds *= state.compiled.next_noise()
+            if self._fault_stall is not None:
+                seconds += self._fault_stall(state.rank)
             state.now = time = state.now + seconds
         elif code == OP_IRECV:
             request = self.transport.post_recv_values(
@@ -628,7 +681,10 @@ class Simulator:
     def _op_compute(self, state: RankState, op: ComputeOp) -> None:
         if op.seconds < 0:
             raise ProgramError(f"rank {state.rank} yielded a negative compute time")
-        state.now = time = state.now + op.seconds
+        seconds = op.seconds
+        if self._fault_stall is not None:
+            seconds += self._fault_stall(state.rank)
+        state.now = time = state.now + seconds
         if time < self.time:
             time = self.time
         queue = self._queue

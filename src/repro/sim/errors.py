@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
-__all__ = ["SimulationError", "DeadlockError", "ConfigurationError", "ProgramError"]
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "ConfigurationError",
+    "ProgramError",
+    "TimeLimitExceeded",
+]
 
 
 class SimulationError(RuntimeError):
     """Base class for all simulator errors."""
+
+
+class TimeLimitExceeded(SimulationError):
+    """Raised when a run exceeds its ``max_wall_seconds`` safety budget.
+
+    Unlike the (deterministic) ``max_events`` guard this depends on host
+    speed, so the sweep engine treats it as *transient* and retries the cell;
+    every other :class:`SimulationError` is deterministic and is not.
+    """
 
 
 class DeadlockError(SimulationError):

@@ -1,0 +1,293 @@
+"""Deterministic fault injection for the simulator.
+
+Real MPI runs are not the clean, perfectly periodic traffic the paper
+evaluates on: transports drop and retransmit packets, links degrade under
+congestion, and ranks stall on OS noise.  This module injects exactly those
+perturbations into a simulation — *deterministically*, so a faulted run is
+bit-reproducible from its seed and a zero-rate fault configuration is
+bit-identical to no fault injection at all.
+
+Three fault models, freely combined in one :class:`FaultConfig`:
+
+**Message drop + retransmit** (``drop_rate``)
+    A data payload's first transmission is lost with probability
+    ``drop_rate``; the sender retransmits after ``retransmit_timeout``
+    seconds (each retransmission may itself be dropped, up to
+    ``max_retransmits`` attempts).  The transport preserves per-channel FIFO
+    *matching* order — like MPI over a reliable transport, a lost message
+    head-of-line blocks its channel, so recovery arrives as a back-to-back
+    burst — while arrival order *across* senders is perturbed, which is what
+    the physical-stream predictor sees.  With probability ``duplicate_rate``
+    (conditional on a drop) the retransmission was spurious: the original
+    copy also arrives, and the late duplicate is delivered to the tracer and
+    the flow-control policy (it lands in ``observe_batch`` like any other
+    arrival) but is discarded before MPI matching, exactly like a receiver
+    deduplicating by sequence number.
+
+**Transient link degradation** (``degrade_factor``)
+    The network alternates between healthy and degraded windows — an
+    alternating renewal process with exponential healthy intervals of mean
+    ``degrade_interval`` and degraded intervals of mean ``degrade_duration``,
+    generated from a dedicated seeded stream.  While degraded, every
+    message's transfer delay (latency + serialization) is multiplied by
+    ``degrade_factor``.
+
+**Rank stalls** (``stall_rate``)
+    Before each compute phase a rank stalls with probability ``stall_rate``
+    for an exponential extra delay of mean ``stall_seconds`` (OS jitter,
+    paging, a core stolen by another job).  Each rank draws from its own
+    derived stream, so stall schedules are independent across ranks but
+    reproducible.
+
+Determinism contract
+--------------------
+All fault randomness derives from dedicated sub-streams of the fault seed
+(``derive_seed(seed, "faults", ...)``), **never** from the network-jitter or
+workload-noise streams.  Consequences:
+
+* a configuration whose rates are all zero (:attr:`FaultConfig.is_null`)
+  consumes no random numbers and produces a simulation bit-identical to one
+  with no fault injection;
+* enabling one fault model does not perturb the random streams of the
+  others, nor the jitter/compute-noise streams of the underlying run;
+* two runs with identical specs (including the fault seed) produce
+  identical traces, statistics and fault counters — sequentially or sharded
+  over a process pool.
+
+Presets (``none``/``drop``/``degrade``/``stall``/``chaos``) are registered
+in :mod:`repro.sim.registry`, so specs address fault models the same way
+they address network presets: ``faults = "drop:rate=0.01,seed=7"``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+
+from repro.util.rng import SeededRNG
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+__all__ = ["FaultConfig", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Parameters of the fault models (all rates default to zero = off).
+
+    Attributes
+    ----------
+    drop_rate:
+        Per-message probability that a data payload's transmission is lost
+        and must be retransmitted.
+    retransmit_timeout:
+        Extra delay per lost transmission attempt, in seconds.
+    max_retransmits:
+        Upper bound on retransmission attempts per message (bounds the
+        geometric retry tail).
+    duplicate_rate:
+        Probability, *given* a drop, that the retransmission was spurious and
+        the original copy also arrives (a late duplicate delivery, visible to
+        the tracer and flow-control policy but discarded before matching).
+    degrade_factor:
+        Transfer-delay multiplier while a degradation window is active.
+        ``1.0`` disables link degradation.
+    degrade_interval:
+        Mean length of healthy windows between degradations, in seconds.
+    degrade_duration:
+        Mean length of a degraded window, in seconds.
+    stall_rate:
+        Per-compute-phase probability that a rank stalls.
+    stall_seconds:
+        Mean duration of one stall (exponential), in seconds.
+    seed:
+        Seed of the fault random streams.  ``None`` (the default) means "not
+        pinned": the scenario layer and the simulator derive it from the run
+        seed, like :attr:`repro.sim.network.NetworkConfig.seed`.
+    """
+
+    drop_rate: float = 0.0
+    retransmit_timeout: float = 500.0e-6
+    max_retransmits: int = 3
+    duplicate_rate: float = 0.0
+    degrade_factor: float = 1.0
+    degrade_interval: float = 10.0e-3
+    degrade_duration: float = 1.0e-3
+    stall_rate: float = 0.0
+    stall_seconds: float = 1.0e-3
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        check_probability("drop_rate", self.drop_rate)
+        check_non_negative("retransmit_timeout", self.retransmit_timeout)
+        check_probability("duplicate_rate", self.duplicate_rate)
+        check_positive("degrade_factor", self.degrade_factor)
+        check_positive("degrade_interval", self.degrade_interval)
+        check_non_negative("degrade_duration", self.degrade_duration)
+        check_probability("stall_rate", self.stall_rate)
+        check_non_negative("stall_seconds", self.stall_seconds)
+        if int(self.max_retransmits) < 1:
+            raise ValueError(
+                f"max_retransmits must be at least 1, got {self.max_retransmits}"
+            )
+        object.__setattr__(self, "max_retransmits", int(self.max_retransmits))
+
+    # -- which models are live ---------------------------------------------
+    @property
+    def drop_active(self) -> bool:
+        """True when the drop/retransmit model can fire."""
+        return self.drop_rate > 0.0
+
+    @property
+    def degrade_active(self) -> bool:
+        """True when link-degradation windows can occur."""
+        return self.degrade_factor != 1.0 and self.degrade_duration > 0.0
+
+    @property
+    def stall_active(self) -> bool:
+        """True when rank stalls can fire."""
+        return self.stall_rate > 0.0 and self.stall_seconds > 0.0
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault model can fire.
+
+        A null configuration consumes no random numbers anywhere — the
+        simulator skips building a :class:`FaultInjector` entirely, so the
+        run is bit-identical to one with no fault configuration at all.
+        """
+        return not (self.drop_active or self.degrade_active or self.stall_active)
+
+    def with_overrides(self, **kwargs) -> "FaultConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class FaultInjector:
+    """Stateful fault machinery for one simulation run.
+
+    Owns the derived random streams (one per fault model, one per stalling
+    rank) and the lazily generated degradation-window timeline, and counts
+    every fault it injects (:meth:`counters`).
+
+    Parameters
+    ----------
+    config:
+        The fault parameters.  Build an injector only for non-null configs
+        (:attr:`FaultConfig.is_null`); a null injector would waste a branch
+        on several hot paths for nothing.
+    run_seed:
+        The simulation seed, used when ``config.seed`` is not pinned.
+    """
+
+    def __init__(self, config: FaultConfig, run_seed: int) -> None:
+        self.config = config
+        self.seed = config.seed if config.seed is not None else run_seed
+        self.drop_active = config.drop_active
+        self.degrade_active = config.degrade_active
+        self.stall_active = config.stall_active
+        self._drop_rng = (
+            SeededRNG(self.seed, "faults", "drop") if self.drop_active else None
+        )
+        self._degrade_rng = (
+            SeededRNG(self.seed, "faults", "degrade") if self.degrade_active else None
+        )
+        self._stall_rngs: dict[int, SeededRNG] = {}
+        # Degradation timeline: boundary times of alternating windows.  The
+        # window covering [boundaries[i], boundaries[i+1]) is degraded when i
+        # is odd (the timeline starts healthy at t=0).  Generated lazily and
+        # append-only, so queries need not be monotone in time.
+        self._boundaries: list[float] = [0.0]
+        # Counters.
+        self.messages_dropped = 0
+        self.retransmissions = 0
+        self.duplicates_delivered = 0
+        self.degraded_messages = 0
+        self.stalls = 0
+        self.stall_time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector(seed={self.seed}, config={self.config!r})"
+
+    # ------------------------------------------------------------------
+    # Drop / retransmit / duplicate (consulted by the transport)
+    # ------------------------------------------------------------------
+    def data_fault(self) -> tuple[float, bool]:
+        """Fault decision for one data payload.
+
+        Returns ``(extra_delay, duplicate)``: the retransmission delay added
+        to the payload's arrival (0.0 when the transmission succeeded), and
+        whether a spurious duplicate copy also arrives at the original time.
+        Consumes random numbers only from the dedicated drop stream, and only
+        when the drop model is active.
+        """
+        rng = self._drop_rng
+        config = self.config
+        if rng is None or not rng.bernoulli(config.drop_rate):
+            return 0.0, False
+        attempts = 1
+        while attempts < config.max_retransmits and rng.bernoulli(config.drop_rate):
+            attempts += 1
+        self.messages_dropped += 1
+        self.retransmissions += attempts
+        duplicate = config.duplicate_rate > 0.0 and rng.bernoulli(
+            config.duplicate_rate
+        )
+        if duplicate:
+            self.duplicates_delivered += 1
+        return attempts * config.retransmit_timeout, duplicate
+
+    # ------------------------------------------------------------------
+    # Link degradation (consulted by the network model)
+    # ------------------------------------------------------------------
+    def _extend_timeline(self, until: float) -> None:
+        boundaries = self._boundaries
+        rng = self._degrade_rng
+        config = self.config
+        while boundaries[-1] <= until:
+            # Even count of boundaries so far => currently inside a healthy
+            # window; append its end, then the degraded window's end.
+            healthy = rng.exponential(config.degrade_interval)
+            degraded = rng.exponential(config.degrade_duration)
+            last = boundaries[-1]
+            boundaries.append(last + healthy)
+            boundaries.append(last + healthy + degraded)
+
+    def latency_multiplier(self, time: float) -> float:
+        """Transfer-delay multiplier in force at simulated ``time``."""
+        boundaries = self._boundaries
+        if boundaries[-1] <= time:
+            self._extend_timeline(time)
+            boundaries = self._boundaries
+        index = bisect_right(boundaries, time) - 1
+        if index & 1:
+            self.degraded_messages += 1
+            return self.config.degrade_factor
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # Rank stalls (consulted by the engine before compute phases)
+    # ------------------------------------------------------------------
+    def stall(self, rank: int) -> float:
+        """Extra stall delay for ``rank``'s next compute phase (often 0.0)."""
+        rng = self._stall_rngs.get(rank)
+        if rng is None:
+            rng = self._stall_rngs[rank] = SeededRNG(self.seed, "faults", "stall", rank)
+        config = self.config
+        if not rng.bernoulli(config.stall_rate):
+            return 0.0
+        delay = rng.exponential(config.stall_seconds)
+        self.stalls += 1
+        self.stall_time += delay
+        return delay
+
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        """Deterministic, JSON-able fault accounting for this run."""
+        return {
+            "messages_dropped": self.messages_dropped,
+            "retransmissions": self.retransmissions,
+            "duplicates_delivered": self.duplicates_delivered,
+            "degraded_messages": self.degraded_messages,
+            "stalls": self.stalls,
+            "stall_time": self.stall_time,
+        }

@@ -120,6 +120,22 @@ class NetworkModel:
         self._contention = cfg.contention
         self._drop_probability = cfg.drop_probability
         self._retransmit_penalty = cfg.retransmit_penalty
+        # Fault-injection hook (set via attach_faults): a callable mapping a
+        # simulated time to the transfer-delay multiplier in force then.
+        self._degrade_multiplier = None
+
+    def attach_faults(self, injector) -> None:
+        """Attach a :class:`repro.sim.faults.FaultInjector` for link degradation.
+
+        Only the degradation model lives here (it scales transfer delays for
+        every message, control traffic included); drop/retransmit faults are
+        applied by the transport on data payloads.  The injector draws from
+        its own seeded streams, so attaching it never perturbs the jitter
+        stream — and an injector without an active degradation model is
+        ignored entirely.
+        """
+        if injector is not None and injector.degrade_active:
+            self._degrade_multiplier = injector.latency_multiplier
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -177,6 +193,8 @@ class NetworkModel:
         # Grouping matters: keep (latency + serialization) as one term so the
         # floating-point result is bit-identical to base_transfer_time().
         transfer = self._latency + serialization
+        if self._degrade_multiplier is not None:
+            transfer = transfer * self._degrade_multiplier(inject_time)
         arrival = inject_time + transfer + jitter + penalty
 
         if self._contention:

@@ -82,11 +82,40 @@ class TestExpansion:
         assert len(sweep.expand()) == 2
 
     def test_grid_path_through_scalar_rejected(self):
+        # Validation happens at construction now, not at expand().
+        with pytest.raises(ValueError, match="scalar field 'seed'"):
+            Sweep(base={"workload": "bt.4"}, grid={"seed.sub": [1]})
+
+    def test_grid_path_typo_suggests_nearest(self):
+        with pytest.raises(ValueError, match="jitter_sigma"):
+            Sweep(
+                base={"workload": "bt.4"},
+                grid={"network.overrides.jitter_sgima": [0.1]},
+            )
+
+    def test_grid_path_unknown_head_rejected(self):
+        with pytest.raises(ValueError, match="did you mean 'network'"):
+            Sweep(base={"workload": "bt.4"}, grid={"netwrok.latency": [1e-6]})
+
+    def test_grid_path_too_deep_rejected(self):
+        with pytest.raises(ValueError, match="too deep"):
+            Sweep(
+                base={"workload": "bt.4"},
+                grid={"network.overrides.latency.extra": [1]},
+            )
+
+    def test_grid_flat_config_field_and_param_paths_accepted(self):
         sweep = Sweep(
-            base={"workload": "bt.4"}, grid={"seed.sub": [1]}
+            base={"workload": "bt.4"},
+            grid={
+                "network.latency": [1e-6, 2e-6],
+                "faults.drop_rate": [0.0, 0.01],
+                "workload.scale": [0.05],
+                "policy.params.horizon": [5],
+                "seed": [1, 2],
+            },
         )
-        with pytest.raises(ValueError, match="non-table"):
-            sweep.expand()
+        assert len(sweep.expand()) == 8
 
 
 class TestTomlLoading:
