@@ -546,3 +546,84 @@ class TestFeedMicrobenchmarks:
 
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.messages_sent > 0
+
+
+def _scale_workload(name: str, nprocs: int):
+    """Scaling-curve workload: iterations pinned so every size is tractable."""
+    return create_workload(
+        name, nprocs, iterations=_SCALE_ITERATIONS[nprocs], compute_noise=0.0
+    )
+
+
+def _scale_run(name: str, nprocs: int, engine: str):
+    from repro.analysis.scaling import lockstep_scale_configs
+
+    machine, network = lockstep_scale_configs()
+    return run_workload(
+        _scale_workload(name, nprocs),
+        seed=2003,
+        machine=machine,
+        network=network,
+        tracer=False,
+        engine=engine,
+    )
+
+
+#: Iterations per job size: enough work to time reliably at 64 ranks without
+#: making the 4096-rank rows (millions of events per iteration) take minutes.
+_SCALE_ITERATIONS = {64: 8, 256: 4, 1024: 1, 4096: 1}
+
+
+class TestScaleMicrobenchmarks:
+    """Engine scaling curves (``-k scale`` selects these).
+
+    ``python -m repro bench --keyword scale`` runs this suite and writes the
+    ``BENCH_scale.json`` perf-trajectory artefact: bt/lu/sweep3d under the
+    scalar event loop versus the vectorised cohort engine at 64 to 4096
+    ranks, under :func:`repro.analysis.scaling.lockstep_scale_configs` (an
+    ideal network keeps rank clocks in lockstep so timestamp cohorts stay as
+    wide as the job — the regime the vectorised dispatch is built for).
+
+    Each benchmark records the processed event count and the events/second
+    rate in ``extra_info``; the bench condenser carries both into the
+    artefact, so the scalar-vs-vectorised throughput ratio per (workload,
+    nprocs) cell can be read straight out of ``BENCH_scale.json``.  CI only
+    regenerates the small-rank rows (``-k "scale and not 1024 and not
+    4096"``); the full curves are produced locally.
+
+    The two engines produce bit-identical results by construction — that
+    invariant is enforced by ``tests/test_engine_vectorised.py``, not here.
+    """
+
+    @pytest.mark.parametrize("engine", ["scalar", "vectorised"])
+    @pytest.mark.parametrize("nprocs", [64, 256, 1024, 4096])
+    @pytest.mark.parametrize("workload", ["bt", "lu", "sweep3d"])
+    def test_bench_scale_curve(self, benchmark, workload, nprocs, engine):
+        from repro.workloads.compile import compile_rank_lanes
+
+        # Prime the schedule cache so neither engine's round pays the one-off
+        # compile cost (the cache is keyed by configuration and shared by the
+        # scalar and vectorised tests of the same cell).
+        primed = _scale_workload(workload, nprocs)
+        for rank in range(primed.nprocs):
+            compile_rank_lanes(primed, rank)
+
+        def simulate():
+            return _scale_run(workload, nprocs, engine)
+
+        rounds = 2 if nprocs <= 256 else 1
+        result = benchmark.pedantic(simulate, rounds=rounds, iterations=1)
+        assert result.events_processed > 0
+        assert result.makespan > 0
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "workload": workload,
+                "nprocs": nprocs,
+                "engine": engine,
+                "iterations": _SCALE_ITERATIONS[nprocs],
+                "events": result.events_processed,
+                "wall_s": round(mean, 4),
+                "events_per_sec": round(result.events_processed / mean, 1),
+            }
+        )

@@ -1,10 +1,30 @@
-"""Setuptools shim.
+"""Package metadata.
 
-The project is fully described by ``pyproject.toml``; this file exists so the
-package can also be installed in environments whose setuptools/pip are too
-old for PEP 660 editable installs (``pip install -e . --no-use-pep517``).
+This ``setup.py`` is the single source of packaging truth for the project
+(there is intentionally no ``pyproject.toml``: the reproduction targets
+environments whose pip/setuptools may predate PEP 660 editable installs).
+
+The only hard runtime dependency is numpy — the typed event queue, the
+vectorised cohort engine, the columnar trace plane and the predictor
+evaluation all operate on numpy arrays.  The minimum version is asserted a
+second time at import (``repro/__init__.py``) so a too-old interpreter
+environment fails with a clear message rather than deep inside a kernel.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mpi-predictability",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Exploring the Predictability of MPI Messages' "
+        "(Freitag et al., IPDPS 2003)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

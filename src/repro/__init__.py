@@ -37,6 +37,25 @@ True
 machinery; see :mod:`repro.workloads.runner`.)
 """
 
+# numpy is the package's only hard dependency (typed event queue, vectorised
+# cohort engine, columnar traces).  Older releases lack APIs the kernels use;
+# fail at import with an actionable message instead of deep inside one.
+_NUMPY_MIN = (1, 22)
+try:
+    import numpy as _numpy
+except ImportError as _error:  # pragma: no cover - environment-dependent
+    raise ImportError(
+        "repro requires numpy >= "
+        + ".".join(str(part) for part in _NUMPY_MIN)
+        + " (install it with 'pip install numpy')"
+    ) from _error
+if tuple(int(part) for part in _numpy.__version__.split(".")[:2]) < _NUMPY_MIN:
+    raise ImportError(  # pragma: no cover - environment-dependent
+        f"repro requires numpy >= {'.'.join(str(p) for p in _NUMPY_MIN)}, "
+        f"found {_numpy.__version__}; upgrade with 'pip install -U numpy'"
+    )
+del _numpy
+
 from repro.core.baselines import (
     CyclePredictor,
     LastValuePredictor,

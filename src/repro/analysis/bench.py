@@ -6,7 +6,7 @@ successive PRs can compare costs without re-reading raw pytest output.
 Exposed both as ``python -m repro bench`` and as
 ``benchmarks/run_benchmarks.py``.
 
-Four perf trajectories are tracked:
+Five perf trajectories are tracked:
 
 * ``BENCH_dpd.json`` — the predictor/DPD hot path (the default keyword);
 * ``BENCH_sim.json`` — the simulation engine and transport
@@ -14,11 +14,20 @@ Four perf trajectories are tracked:
 * ``BENCH_trace.json`` — the columnar trace data plane and the sharded
   experiment runner (``python -m repro bench --keyword trace``);
 * ``BENCH_feed.json`` — the op-array workload feed versus the generator
-  protocol, end to end (``python -m repro bench --keyword feed``).
+  protocol, end to end (``python -m repro bench --keyword feed``);
+* ``BENCH_scale.json`` — the scalar-vs-vectorised engine scaling curves
+  (bt/lu/sweep3d at 64-4096 ranks; ``python -m repro bench
+  --keyword scale``).
 
 When no explicit ``--output`` is given, the artefact name is derived from
-the keyword (any keyword mentioning ``feed`` writes ``BENCH_feed.json``,
-``trace`` writes ``BENCH_trace.json``, ``sim`` writes ``BENCH_sim.json``).
+the keyword (any keyword mentioning ``scale`` writes ``BENCH_scale.json``,
+``feed`` writes ``BENCH_feed.json``, ``trace`` writes ``BENCH_trace.json``,
+``sim`` writes ``BENCH_sim.json``).
+
+Benchmarks may attach domain metrics through pytest-benchmark's
+``extra_info`` mechanism (the scaling suite records processed events and
+events/second per run); the condenser carries them into the artefact
+verbatim under an ``extra_info`` key.
 """
 
 from __future__ import annotations
@@ -56,9 +65,15 @@ TRACE_KEYWORD = "trace"
 #: lane vs generator protocol; every benchmark has ``feed`` in its name).
 FEED_KEYWORD = "feed"
 
+#: ``-k`` selector for the engine scaling benchmarks (scalar vs vectorised
+#: cohort dispatch; every benchmark has ``scale`` in its name).
+SCALE_KEYWORD = "scale"
+
 
 def default_output_for(keyword: str) -> str:
     """The perf-trajectory artefact a keyword's results belong in."""
+    if "scale" in keyword:
+        return "BENCH_scale.json"
     if "feed" in keyword:
         return "BENCH_feed.json"
     if "trace" in keyword:
@@ -144,13 +159,16 @@ def run_microbenchmarks(
     benchmarks = {}
     for entry in sorted(raw.get("benchmarks", []), key=lambda e: e["name"]):
         stats = entry["stats"]
-        benchmarks[entry["name"]] = {
+        condensed = {
             "mean_s": stats["mean"],
             "stddev_s": stats["stddev"],
             "median_s": stats["median"],
             "min_s": stats["min"],
             "rounds": stats["rounds"],
         }
+        if entry.get("extra_info"):
+            condensed["extra_info"] = entry["extra_info"]
+        benchmarks[entry["name"]] = condensed
     summary = {
         "datetime": raw.get("datetime"),
         "machine": {
@@ -174,10 +192,21 @@ def run_microbenchmarks(
 
 def render_summary(summary: dict) -> str:
     """Human-readable table of a :func:`run_microbenchmarks` summary."""
-    lines = [f"{'benchmark':58s} {'mean':>12s} {'stddev':>12s} {'rounds':>7s}"]
+    has_rates = any(
+        "events_per_sec" in stats.get("extra_info", {})
+        for stats in summary["benchmarks"].values()
+    )
+    header = f"{'benchmark':58s} {'mean':>12s} {'stddev':>12s} {'rounds':>7s}"
+    if has_rates:
+        header += f" {'events/s':>12s}"
+    lines = [header]
     for name, stats in summary["benchmarks"].items():
-        lines.append(
+        line = (
             f"{name:58s} {stats['mean_s'] * 1e6:10.2f}us {stats['stddev_s'] * 1e6:10.2f}us "
             f"{stats['rounds']:7d}"
         )
+        if has_rates:
+            rate = stats.get("extra_info", {}).get("events_per_sec")
+            line += f" {rate:12,.0f}" if rate is not None else f" {'-':>12s}"
+        lines.append(line)
     return "\n".join(lines)

@@ -23,9 +23,10 @@ Commands
     perf-trajectory artefact: ``BENCH_dpd.json`` for the predictor suite
     (default), ``BENCH_sim.json`` for the simulation engine
     (``--keyword sim``), ``BENCH_trace.json`` for the columnar trace
-    data plane and sharded runner (``--keyword trace``), or
+    data plane and sharded runner (``--keyword trace``),
     ``BENCH_feed.json`` for the op-array workload feed vs the generator
-    protocol (``--keyword feed``).
+    protocol (``--keyword feed``), or ``BENCH_scale.json`` for the
+    scalar-vs-vectorised engine scaling curves (``--keyword scale``).
 ``list``
     List the available workloads, paper configurations and registered
     scenario components; ``--json`` emits the same machine-readably (feeds
@@ -59,6 +60,7 @@ from repro.scenario import (
     WorkloadSpec,
     cell_record,
     load_sweep,
+    sweep_accuracy_table,
 )
 from repro.sim.registry import FAULT_PRESETS, MACHINE_PRESETS, NETWORK_PRESETS
 from repro.trace.io import load_traces
@@ -140,6 +142,19 @@ def build_parser() -> argparse.ArgumentParser:
         "and the worker pool shut down cleanly) instead of recording it",
     )
     sweep_cmd.add_argument(
+        "--engine",
+        choices=["auto", "scalar", "vectorised"],
+        default=None,
+        help="override the simulation engine for every cell (results are "
+        "engine-independent — this only changes how they are computed)",
+    )
+    sweep_cmd.add_argument(
+        "--accuracy-table",
+        action="store_true",
+        help="after the run, print the cross-cell prediction-accuracy table "
+        "(per-horizon sender accuracy for each traced cell)",
+    )
+    sweep_cmd.add_argument(
         "--resume",
         action="store_true",
         help="with --out: skip cells already checkpointed under "
@@ -189,7 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="artefact path; derived from the keyword when omitted "
         "(BENCH_dpd.json for the predictor suite, BENCH_sim.json for "
         "--keyword sim, BENCH_trace.json for --keyword trace, "
-        "BENCH_feed.json for --keyword feed)",
+        "BENCH_feed.json for --keyword feed, BENCH_scale.json for "
+        "--keyword scale)",
     )
     bench_cmd.add_argument("--bench-dir", type=str, default=None)
     bench_cmd.add_argument(
@@ -281,6 +297,7 @@ def _cmd_sweep(args) -> int:
             fail_fast=args.fail_fast,
             out=args.out,
             resume=args.resume,
+            engine=args.engine,
         )
     except SweepAborted as aborted:
         print(str(aborted), file=sys.stderr)
@@ -302,6 +319,44 @@ def _cmd_sweep(args) -> int:
             title=f"sweep — {sweep.name or Path(args.spec).stem}",
         )
     )
+    if args.accuracy_table:
+        table_rows = sweep_accuracy_table(results)
+        horizon = max(
+            (len(row["accuracy_pct"]) for row in table_rows if row["accuracy_pct"]),
+            default=0,
+        )
+        rendered = [
+            [
+                row["cell"],
+                row["label"],
+                row["policy"],
+                row["status"],
+                row["stream_length"] if row["stream_length"] is not None else "-",
+            ]
+            + [
+                f"{row['accuracy_pct'][k]:.1f}%"
+                if row["accuracy_pct"] is not None and k < len(row["accuracy_pct"])
+                else "-"
+                for k in range(horizon)
+            ]
+            + [
+                f"{row['coverage_pct']:.1f}%" if row["coverage_pct"] is not None else "-"
+            ]
+            for row in table_rows
+        ]
+        headers = (
+            ["cell", "label", "policy", "status", "msgs"]
+            + [f"+{k}" for k in range(1, horizon + 1)]
+            + ["coverage"]
+        )
+        print()
+        print(
+            ascii_table(
+                headers,
+                rendered,
+                title="sender prediction accuracy — representative ranks",
+            )
+        )
     if args.out:
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)

@@ -45,8 +45,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.mpi.ops import IrecvOp, IsendOp, RecvOp, SendOp
-from repro.mpi.request import Request, Status
+from repro.mpi.request import Request, Status, _request_ids
 from repro.runtime.buffers import BufferPoolStats, EagerBufferPool
 from repro.runtime.matching import (
     PostedReceive,
@@ -67,11 +69,21 @@ __all__ = ["Transport"]
 #: FIFO order is never violated by jitter.
 _FIFO_EPSILON = 1.0e-12
 
+#: Burst size below which the deterministic send path skips the numpy
+#: batch-arrival expression: array construction costs more than it saves on
+#: small bursts, so they run a single hoisted loop with the arrival formula
+#: inlined instead.
+_BURST_GATHER_MIN = 64
+
 #: The matching-queue entries and receive statuses are named tuples; building
 #: them through ``tuple.__new__`` skips the generated ``__new__`` wrapper
 #: (one of these is built per message on the hot path, and the wrapper alone
 #: costs more than the allocation).
 _tuple_new = tuple.__new__
+
+#: Fresh-request sentinel for ``completion_time`` (see ``Request._reuse``,
+#: whose field resets the burst loops inline).
+_NAN = float("nan")
 
 
 @dataclass
@@ -178,6 +190,7 @@ class Transport:
         self._faults = faults if faults is not None and faults.drop_active else None
         self._engine = None
         self._schedule_delivery = None
+        self._schedule_delivery_batch = None
         self._channel_last_arrival: dict[tuple[int, int], float] = {}
         self._endpoints: list[_Endpoint] = []
         for rank in range(nprocs):
@@ -200,6 +213,7 @@ class Transport:
         """
         self._engine = engine
         self._schedule_delivery = getattr(engine, "schedule_delivery", None)
+        self._schedule_delivery_batch = getattr(engine, "schedule_delivery_batch", None)
 
     def _schedule(self, time: float, callback) -> None:
         if self._engine is None:
@@ -303,6 +317,302 @@ class Transport:
             self._schedule(rts_arrival, lambda: self._handle_rts(state, rts_arrival))
         return request
 
+    def post_send_burst(
+        self,
+        ranks: list[int],
+        dsts: list[int],
+        nbytes_list: list[int],
+        tags: list[int],
+        kinds: list[str],
+        nows: list[float],
+    ) -> list[Request]:
+        """Execute many sends posted at one timestamp cohort (vectorised lane).
+
+        Bit-identical to calling :meth:`post_send_values` once per message in
+        list order (the engine's scalar drain does exactly that), returning
+        the requests in the same order.  Two regimes:
+
+        * When the network is :attr:`~repro.sim.network.NetworkModel.deterministic`
+          and no drop faults are attached, eager payload arrivals for the
+          whole burst come from one
+          :meth:`~repro.sim.network.NetworkModel.batch_arrival_times`
+          expression; per-message work (policy consultation, statistics,
+          FIFO clamping, event pushes) still runs in exact message order, so
+          every stateful side effect is sequenced as the scalar path would
+          sequence it.
+        * Otherwise — jitter, contention, degradation or drop faults make
+          arrival computation order-sensitive — the burst simply loops over
+          :meth:`post_send_values`.
+        """
+        n = len(ranks)
+        network = self.network
+        if self._faults is not None or not network.deterministic:
+            post = self.post_send_values
+            return [
+                post(ranks[i], dsts[i], nbytes_list[i], tags[i], kinds[i], None, nows[i])
+                for i in range(n)
+            ]
+        if n < _BURST_GATHER_MIN:
+            return self._post_send_burst_small(
+                ranks, dsts, nbytes_list, tags, kinds, nows
+            )
+        nprocs = self.nprocs
+        pool = self._request_pool
+        eager_threshold = self._eager_threshold
+        policy = self.policy
+        # StandardFlowControl.allows_eager is a pure size test; inlining it
+        # skips one method call per message without changing the decision.
+        standard = type(policy) is StandardFlowControl
+        standard_threshold = policy.machine.eager_threshold if standard else 0
+        allows_eager = policy.allows_eager
+        send_overhead = self._send_overhead
+        items: list[tuple[Message, Request, bool]] = []
+        eager_nbytes: list[int] = []
+        eager_inject: list[float] = []
+        requests: list[Request] = []
+        # Send statistics are plain integer sums, so they are accumulated
+        # locally and applied once after the loop — exact and order-free.
+        sent_bytes = 0
+        coll_count = 0
+        eager_count = 0
+        forced_count = 0
+        bypass_count = 0
+        for i in range(n):
+            rank = ranks[i]
+            dst = dsts[i]
+            nbytes = nbytes_list[i]
+            if not (0 <= dst < nprocs):
+                raise ValueError(f"destination rank {dst} out of range [0, {nprocs})")
+            if dst == rank:
+                raise ValueError("self-sends are not supported by the simulated transport")
+            if nbytes < 0:
+                raise ValueError(f"message size must be non-negative, got {nbytes}")
+            kind = kinds[i]
+            now = nows[i]
+            # Inlined Request._reuse: one freelist pop per message.
+            if pool:
+                request = pool.pop()
+                request.req_id = next(_request_ids)
+                request.op_kind = "send"
+                request.rank = rank
+                request.completed = False
+                request.cancelled = False
+                request.completion_time = _NAN
+                request.status = None
+                request._callbacks = None
+            else:
+                request = Request("send", rank)
+            size_says_eager = nbytes <= eager_threshold
+            if standard:
+                policy_allows = nbytes <= standard_threshold
+            else:
+                policy_allows = allows_eager(rank, dst, nbytes, kind, now)
+            protocol = "eager" if policy_allows else "rendezvous"
+            message = Message(rank, dst, tags[i], nbytes, kind, protocol)
+            message.payload = None
+            sent_bytes += nbytes
+            if kind == "collective":
+                coll_count += 1
+            if policy_allows:
+                eager_count += 1
+                if not size_says_eager:
+                    bypass_count += 1
+            elif size_says_eager:
+                forced_count += 1
+            inject = now + send_overhead
+            message.inject_time = inject
+            if policy_allows:
+                eager_nbytes.append(nbytes)
+                eager_inject.append(inject)
+            items.append((message, request, policy_allows))
+            requests.append(request)
+        stats = self.stats
+        stats.messages_sent += n
+        stats.bytes_sent += sent_bytes
+        stats.collective_messages += coll_count
+        stats.p2p_messages += n - coll_count
+        stats.eager_messages += eager_count
+        stats.rendezvous_messages += n - eager_count
+        stats.forced_rendezvous += forced_count
+        stats.eager_bypass_large += bypass_count
+        arrivals = iter(
+            self.network.batch_arrival_times(
+                np.asarray(eager_nbytes, dtype=np.int64),
+                np.asarray(eager_inject, dtype=np.float64),
+            ).tolist()
+            if eager_nbytes
+            else ()
+        )
+        # Second pass in the same message order: every event push (delivery or
+        # RTS control callback) lands with the sequence-number order the
+        # scalar path would have produced, which is what keeps simultaneous
+        # future arrivals breaking ties identically.
+        #
+        # Eager delivery pushes are *deferred*: while consecutive eager
+        # messages share one arrival timestamp (the common case for a
+        # lockstep exchange on the deterministic network), their records are
+        # emitted as a single EVENT_DELIVER_BATCH, whose sequence block is
+        # exactly the one the individual pushes would have consumed.
+        # Deferral is order-safe because nothing else pushes events between
+        # two eager messages (``request._complete`` has no callbacks at post
+        # time); any rendezvous message *does* push a control callback, so
+        # the pending run is flushed before it.
+        schedule_delivery = self._schedule_delivery
+        schedule_batch = self._schedule_delivery_batch
+        channel_last = self._channel_last_arrival
+        pending: list[Message] = []
+        pending_arrival = 0.0
+        pending_same = True
+        for message, request, use_eager in items:
+            if use_eager:
+                arrival = next(arrivals)
+                key = (message.src, message.dst)
+                last = channel_last.get(key, 0.0)
+                if arrival <= last:
+                    arrival = last + _FIFO_EPSILON
+                channel_last[key] = arrival
+                message.arrival_time = arrival
+                if schedule_batch is not None:
+                    if not pending:
+                        pending_arrival = arrival
+                        pending_same = True
+                    elif arrival != pending_arrival:
+                        pending_same = False
+                    pending.append(message)
+                elif schedule_delivery is not None:
+                    schedule_delivery(arrival, message, None)
+                else:
+                    self._schedule_data(arrival, message, None)
+                request._complete(message.inject_time)
+            else:
+                if pending:
+                    self._flush_pending_deliveries(pending, pending_arrival, pending_same)
+                    pending = []
+                state = _Rendezvous(message=message, send_request=request)
+                self.stats.record_control_message()
+                rts_arrival = self.network.arrival_time(
+                    message.src, message.dst, self._control_bytes, message.inject_time
+                )
+                self._schedule(
+                    rts_arrival,
+                    lambda state=state, t=rts_arrival: self._handle_rts(state, t),
+                )
+        if pending:
+            self._flush_pending_deliveries(pending, pending_arrival, pending_same)
+        return requests
+
+    def _flush_pending_deliveries(
+        self, pending: list[Message], arrival: float, same: bool
+    ) -> None:
+        """Emit deferred eager deliveries: one batch record when the run
+        shares a timestamp, individual records (original order) otherwise."""
+        if same and len(pending) > 1:
+            self._schedule_delivery_batch(
+                arrival, [(message, None) for message in pending]
+            )
+            return
+        schedule_delivery = self._schedule_delivery
+        for message in pending:
+            schedule_delivery(message.arrival_time, message, None)
+
+    def _post_send_burst_small(
+        self,
+        ranks: list[int],
+        dsts: list[int],
+        nbytes_list: list[int],
+        tags: list[int],
+        kinds: list[str],
+        nows: list[float],
+    ) -> list[Request]:
+        """Single-pass regime of :meth:`post_send_burst` for small bursts.
+
+        Below :data:`_BURST_GATHER_MIN` messages the numpy batch-arrival
+        expression costs more than it saves, so this path keeps the hoisted
+        lookups but computes each eager arrival inline with the exact float
+        grouping of :meth:`NetworkModel.arrival_time` — ``inject +
+        (latency + nbytes / bandwidth)``, with jitter and penalty exact zeros
+        on the deterministic model — so results stay bit-identical.  Network
+        counters are accumulated locally and applied once at the end (they
+        are plain integer sums, so the total is order-independent).
+        """
+        network = self.network
+        nprocs = self.nprocs
+        pool = self._request_pool
+        eager_threshold = self._eager_threshold
+        policy = self.policy
+        standard = type(policy) is StandardFlowControl
+        standard_threshold = policy.machine.eager_threshold if standard else 0
+        allows_eager = policy.allows_eager
+        record_send = self.stats.record_send
+        send_overhead = self._send_overhead
+        schedule_delivery = self._schedule_delivery
+        channel_last = self._channel_last_arrival
+        latency = network._latency
+        bandwidth = network._bandwidth
+        requests: list[Request] = []
+        append = requests.append
+        eager_count = 0
+        eager_bytes = 0
+        for i in range(len(ranks)):
+            rank = ranks[i]
+            dst = dsts[i]
+            nbytes = nbytes_list[i]
+            if not (0 <= dst < nprocs):
+                raise ValueError(f"destination rank {dst} out of range [0, {nprocs})")
+            if dst == rank:
+                raise ValueError("self-sends are not supported by the simulated transport")
+            if nbytes < 0:
+                raise ValueError(f"message size must be non-negative, got {nbytes}")
+            kind = kinds[i]
+            now = nows[i]
+            request = pool.pop()._reuse("send", rank) if pool else Request("send", rank)
+            size_says_eager = nbytes <= eager_threshold
+            if standard:
+                policy_allows = nbytes <= standard_threshold
+            else:
+                policy_allows = allows_eager(rank, dst, nbytes, kind, now)
+            protocol = "eager" if policy_allows else "rendezvous"
+            message = Message(rank, dst, tags[i], nbytes, kind, protocol)
+            message.payload = None
+            record_send(
+                nbytes,
+                kind,
+                protocol,
+                size_says_eager and not policy_allows,
+                (not size_says_eager) and policy_allows,
+            )
+            inject = now + send_overhead
+            message.inject_time = inject
+            if policy_allows:
+                arrival = inject + (latency + nbytes / bandwidth)
+                eager_count += 1
+                eager_bytes += nbytes
+                key = (rank, dst)
+                last = channel_last.get(key, 0.0)
+                if arrival <= last:
+                    arrival = last + _FIFO_EPSILON
+                channel_last[key] = arrival
+                message.arrival_time = arrival
+                if schedule_delivery is not None:
+                    schedule_delivery(arrival, message, None)
+                else:
+                    self._schedule_data(arrival, message, None)
+                request._complete(inject)
+            else:
+                state = _Rendezvous(message=message, send_request=request)
+                self.stats.record_control_message()
+                rts_arrival = network.arrival_time(
+                    rank, dst, self._control_bytes, inject
+                )
+                self._schedule(
+                    rts_arrival,
+                    lambda state=state, t=rts_arrival: self._handle_rts(state, t),
+                )
+            append(request)
+        network.messages_timed += eager_count
+        network.total_bytes += eager_bytes
+        return requests
+
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
@@ -332,6 +642,65 @@ class Transport:
         else:
             self._complete_from_unexpected(posted, entry, now)
         return request
+
+    def post_recv_burst(
+        self,
+        ranks: list[int],
+        sources: list[int],
+        tags: list[int],
+        kinds: list[str],
+        nows: list[float],
+    ) -> list[Request]:
+        """Execute many receives posted at one timestamp cohort (vectorised lane).
+
+        Bit-identical to calling :meth:`post_recv_values` once per message in
+        list order: receive posting consumes no randomness and no timing, so
+        the burst is purely the per-message loop with the hook lookups and
+        freelist bindings hoisted out of it.  Matching side effects (posted
+        queues, unexpected matches, CTS grants) run in exact message order.
+        """
+        pool = self._request_pool
+        tracer_recv_posted = self._tracer_recv_posted
+        policy_observes_recv = self._policy_observes_recv
+        on_recv_posted = self.policy.on_recv_posted
+        endpoints = self._endpoints
+        handshake_cpu = self._handshake_cpu
+        requests: list[Request] = []
+        append = requests.append
+        for i in range(len(ranks)):
+            rank = ranks[i]
+            source = sources[i]
+            tag = tags[i]
+            kind = kinds[i]
+            now = nows[i]
+            # Inlined Request._reuse: one freelist pop per message.
+            if pool:
+                request = pool.pop()
+                request.req_id = next(_request_ids)
+                request.op_kind = "recv"
+                request.rank = rank
+                request.completed = False
+                request.cancelled = False
+                request.completion_time = _NAN
+                request.status = None
+                request._callbacks = None
+            else:
+                request = Request("recv", rank)
+            if tracer_recv_posted is not None:
+                tracer_recv_posted(rank, request.req_id, now)
+            if policy_observes_recv:
+                on_recv_posted(rank, source, tag, kind, now)
+            posted = _tuple_new(PostedReceive, (request, source, tag, kind, now))
+            endpoint = endpoints[rank]
+            entry = endpoint.unexpected.match(posted)
+            if entry is None:
+                endpoint.posted.post(posted)
+            elif entry.is_rendezvous_announcement:
+                self._send_cts(entry.rendezvous_token, posted, now + handshake_cpu)
+            else:
+                self._complete_from_unexpected(posted, entry, now)
+            append(request)
+        return requests
 
     # ------------------------------------------------------------------
     # Internal protocol steps
@@ -465,6 +834,87 @@ class Transport:
                 endpoint.unexpected.add(
                     _tuple_new(UnexpectedEntry, (message, arrival, False, None, storage))
                 )
+
+    def deliver_cohort(
+        self, items: list[tuple[Message, Optional[PostedReceive]]], arrival: float
+    ) -> None:
+        """Payloads arrived at one timestamp, possibly at *several* ranks.
+
+        ``items`` is the full consecutive run of same-time delivery records in
+        exact event order; destinations may interleave.  With a tracer or a
+        delivery-observing policy attached, the run is segmented into
+        consecutive same-destination bursts and forwarded to
+        :meth:`deliver_burst`, preserving its per-burst trace/policy phase
+        order.  Without either hook (the benchmark configuration), matching
+        and completion are inlined in one flat pass — same calls, same order,
+        same outputs, without 50k+ single-message burst calls.
+        """
+        if self._tracer_arrival is not None or self._policy_observes_delivery:
+            deliver_burst = self.deliver_burst
+            start = 0
+            dst = items[0][0].dst
+            for j in range(1, len(items)):
+                d = items[j][0].dst
+                if d != dst:
+                    deliver_burst(items[start:j], arrival)
+                    start = j
+                    dst = d
+            deliver_burst(items[start:], arrival)
+            return
+        endpoints = self._endpoints
+        stats = self.stats
+        record_delivery = stats.record_delivery
+        eager_acc = stats.eager_latency
+        rendezvous_acc = stats.rendezvous_latency
+        recv_overhead = self._recv_overhead
+        expected_count = 0
+        endpoint = None
+        dst = -1
+        for message, posted in items:
+            if message.duplicate:
+                continue
+            if posted is None:
+                d = message.dst
+                if d != dst:
+                    dst = d
+                    endpoint = endpoints[d]
+                posted = endpoint.posted.match(message)
+                if posted is None:
+                    storage = endpoint.buffers.store_unexpected(
+                        message.src, message.nbytes
+                    )
+                    record_delivery(expected=False, storage=storage)
+                    endpoint.unexpected.add(
+                        _tuple_new(
+                            UnexpectedEntry, (message, arrival, False, None, storage)
+                        )
+                    )
+                    continue
+            # Inlined _complete_receive with copy_penalty=0.0 and no tracer
+            # (the arrival hook being None implies the recv-matched hook is
+            # too — both come from the same tracer object).  The latency
+            # accumulator is updated inline, samples in exact message order.
+            expected_count += 1
+            complete_time = arrival + recv_overhead
+            arrival_time = message.arrival_time
+            status = _tuple_new(
+                Status,
+                (
+                    message.src,
+                    message.tag,
+                    message.nbytes,
+                    message.kind,
+                    arrival_time if arrival_time == arrival_time else arrival,
+                ),
+            )
+            acc = eager_acc if message.protocol == "eager" else rendezvous_acc
+            latency = complete_time - message.inject_time
+            acc.count += 1
+            acc.total += latency
+            if latency > acc.maximum:
+                acc.maximum = latency
+            posted.request._complete(complete_time, status)
+        stats.expected_deliveries += expected_count
 
     def _complete_from_unexpected(
         self, posted: PostedReceive, entry: UnexpectedEntry, now: float

@@ -53,6 +53,7 @@ from repro.scenario.sweep import (
     SweepAborted,
     cell_record,
     load_sweep,
+    sweep_accuracy_table,
 )
 
 __all__ = [
@@ -72,6 +73,7 @@ __all__ = [
     "CachedCell",
     "cell_record",
     "load_sweep",
+    "sweep_accuracy_table",
     "coerce_scalar",
     "parse_params",
     "split_shorthand",

@@ -120,6 +120,7 @@ class Scenario:
             max_events=spec.max_events,
             max_wall_seconds=spec.max_wall_seconds,
             faults=spec.faults.build(spec.seed),
+            engine=spec.engine,
         )
         factory = workload.program_for if spec.compiled else workload.program
         result = simulator.run([factory])

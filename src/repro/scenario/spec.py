@@ -564,10 +564,16 @@ class ScenarioSpec:
     max_events: int | None = None
     max_wall_seconds: float | None = None
     compiled: bool = True
+    #: Engine drain selection forwarded to :class:`repro.sim.engine.Simulator`
+    #: (``"auto"``/``"scalar"``/``"vectorised"``).  Deliberately **excluded**
+    #: from :meth:`to_dict` and :meth:`content_hash`: both drains produce
+    #: bit-identical results, so the knob is an execution detail — specs that
+    #: differ only in it share sweep cache cells and summary output.
+    engine: str = "auto"
 
     _FIELDS = ("workload", "seed", "machine", "network", "faults", "policy",
                "predictor", "trace", "name", "max_events", "max_wall_seconds",
-               "compiled")
+               "compiled", "engine")
 
     def __post_init__(self) -> None:
         coerce = object.__setattr__
@@ -582,6 +588,10 @@ class ScenarioSpec:
         if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
             raise ValueError(
                 f"max_wall_seconds must be positive, got {self.max_wall_seconds}"
+            )
+        if self.engine not in ("auto", "scalar", "vectorised"):
+            raise ValueError(
+                f"engine must be 'auto', 'scalar' or 'vectorised', got {self.engine!r}"
             )
 
     # -- identity ----------------------------------------------------------
@@ -647,6 +657,8 @@ class ScenarioSpec:
             "max_events": self.max_events,
             "max_wall_seconds": self.max_wall_seconds,
             "compiled": self.compiled,
+            # "engine" is intentionally absent: it cannot change results, so
+            # it must not change content_hash() or on-disk summaries.
         }
 
     def content_hash(self) -> str:

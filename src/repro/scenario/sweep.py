@@ -80,6 +80,7 @@ __all__ = [
     "SweepAborted",
     "cell_record",
     "load_sweep",
+    "sweep_accuracy_table",
 ]
 
 
@@ -253,7 +254,9 @@ class _Manifest:
 # Grid-path validation
 # ----------------------------------------------------------------------
 #: Scalar ScenarioSpec fields: a grid path may target them but not descend.
-_SCALAR_FIELDS = ("seed", "name", "max_events", "max_wall_seconds", "compiled")
+_SCALAR_FIELDS = (
+    "seed", "name", "max_events", "max_wall_seconds", "compiled", "engine",
+)
 
 #: Config-backed nodes: structural spec keys plus the backing dataclass whose
 #: field names are valid both flat (``network.latency``) and under
@@ -495,6 +498,7 @@ class Sweep:
         fail_fast: bool = False,
         out: str | Path | None = None,
         resume: bool = False,
+        engine: str | None = None,
     ) -> list[ScenarioResult | CachedCell | CellFailure]:
         """Run every cell and return outcomes in :meth:`expand` order.
 
@@ -522,12 +526,20 @@ class Sweep:
         re-running them.  ``fail_fast=True`` cancels pending cells, shuts the
         pool down (no leaked workers), and raises :class:`SweepAborted` on
         the first failure instead of recording it.
+
+        ``engine`` (``"auto"``/``"scalar"``/``"vectorised"``) overrides the
+        run-loop drain of *every* cell — the A/B switch for the vectorised
+        engine.  It cannot change results (outputs are bit-identical across
+        drains, and the spec content hash excludes it), so checkpoints and
+        summaries are engine-agnostic.
         """
         if resume and out is None:
             raise ValueError("run_all(resume=True) needs an output directory (out=)")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         specs = self.expand()
+        if engine is not None:
+            specs = [spec.with_overrides(engine=engine) for spec in specs]
         if not specs:
             return []
         manifest = _Manifest(out) if out is not None else None
@@ -734,3 +746,59 @@ class _CellRunner:
 def load_sweep(path: str | Path) -> Sweep:
     """Read ``path`` as a sweep TOML (single-scenario files become one cell)."""
     return Sweep.from_toml(path)
+
+
+def sweep_accuracy_table(
+    outcomes: Sequence,
+    kind: str = "sender",
+    level: str = "logical",
+    warmup: int = 0,
+) -> list[dict]:
+    """Cross-cell predictor accuracy over a finished sweep.
+
+    Takes the outcome list of :meth:`Sweep.run_all` and evaluates each
+    finished cell's predictor (the spec's own ``predictor`` configuration)
+    over the representative rank's ``kind`` stream at ``level`` via
+    :meth:`~repro.scenario.scenario.ScenarioResult.predict`.  Returns one
+    row dict per cell, in sweep order::
+
+        {"cell": 0, "label": "bt.4", "policy": "standard",
+         "workload": "bt", "nprocs": 4, "rank": 2, "status": "ok",
+         "stream_length": 123,
+         "accuracy_pct": [93.5, ...],   # one entry per horizon, +1 first
+         "coverage_pct": 97.1}          # fraction of +1 positions predicted
+
+    Cells that produced no evaluable stream keep their slot with a non-"ok"
+    status and ``None`` metrics: failures ("failed"), cache hits restored
+    from disk without traces ("cached"), and cells run with tracing disabled
+    ("untraced").
+    """
+    rows: list[dict] = []
+    for index, outcome in enumerate(outcomes):
+        spec = outcome.spec
+        row = {
+            "cell": index,
+            "label": spec.label,
+            "policy": spec.policy.kind,
+            "workload": spec.workload.name,
+            "nprocs": spec.workload.nprocs,
+            "rank": None,
+            "status": "ok",
+            "stream_length": None,
+            "accuracy_pct": None,
+            "coverage_pct": None,
+        }
+        if isinstance(outcome, CellFailure):
+            row["status"] = "failed"
+        elif isinstance(outcome, CachedCell):
+            row["status"] = "cached"
+        elif outcome.result.tracer is None:
+            row["status"] = "untraced"
+        else:
+            accuracy = outcome.predict(kind=kind, level=level, warmup=warmup)
+            row["rank"] = outcome.representative_rank
+            row["stream_length"] = accuracy.stream_length
+            row["accuracy_pct"] = [round(a, 2) for a in accuracy.as_percentages()]
+            row["coverage_pct"] = round(100.0 * accuracy.coverage(1), 2)
+        rows.append(row)
+    return rows

@@ -59,6 +59,8 @@ from heapq import heappop as _heappop, heappush as _heappush
 from time import monotonic as _monotonic
 from typing import Callable, Generator, Sequence
 
+import numpy as np
+
 from repro.mpi.communicator import Communicator, RankContext
 from repro.mpi.ops import (
     OP_COMPUTE,
@@ -96,7 +98,9 @@ from repro.sim.events import (
     EV_TIME,
     EVENT_CALLBACK,
     EVENT_DELIVER,
+    EVENT_DELIVER_BATCH,
     EVENT_STEP,
+    EVENT_STEP_BATCH,
     EventQueue,
 )
 from repro.sim.machine import MachineConfig
@@ -108,6 +112,22 @@ __all__ = ["Simulator", "SimulationResult", "RankState", "RankStatus"]
 
 #: A program factory takes a rank context and returns the rank's generator.
 ProgramFactory = Callable[[RankContext], Generator[Operation, object, None]]
+
+#: ``engine="auto"`` switches to the vectorised drain at this many compiled
+#: ranks.  Below it, cohorts are too small for the numpy gather/dispatch
+#: overhead to amortise; at or above it the batch lane wins (see
+#: ``BENCH_scale.json``).
+_VECTOR_MIN_RANKS = 16
+
+#: Minimum cohort size worth routing through ``_exec_cohort``; smaller
+#: cohorts run the scalar ``_step_compiled`` path directly.
+_VECTOR_MIN_COHORT = 4
+
+#: Minimum segment size for the numpy fancy-indexed lane gathers.  Below it
+#: the batch handlers read the Python list lanes directly (array conversion
+#: overhead beats the gather on small segments); the batched event-record
+#: push is worthwhile at any segment size.
+_VECTOR_GATHER_MIN = 64
 
 
 class RankStatus(Enum):
@@ -160,6 +180,9 @@ class RankState:
     cp_tag: object = None
     cp_seconds: object = None
     cp_kind: object = None
+    #: Offset of this rank's lanes in the vectorised engine's concatenated
+    #: lane arena (0 and unused under the scalar drain).
+    cp_base: int = 0
 
 
 @dataclass
@@ -231,6 +254,14 @@ class Simulator:
         or a pre-built :class:`FaultInjector`.  A null config (all rates
         zero) is ignored entirely, so the run is bit-identical to passing
         ``None``.
+    engine:
+        Which run-loop drain to use: ``"scalar"`` forces the record-by-record
+        loop, ``"vectorised"`` forces the cohort-batching loop (compiled
+        ranks only — generator ranks always step scalar), and ``"auto"`` (the
+        default) picks the vectorised loop when at least
+        ``_VECTOR_MIN_RANKS`` ranks are compiled.  The two drains produce
+        **bit-identical** simulations — traces, stats, event counts and fault
+        counters; the knob only trades constant factors.
 
     A ``Simulator`` instance is **single-use**: :meth:`run` consumes the
     event queue, transport matching state and jitter RNG streams, so a second
@@ -250,9 +281,15 @@ class Simulator:
         max_events: int | None = None,
         max_wall_seconds: float | None = None,
         faults: FaultConfig | FaultInjector | None = None,
+        engine: str = "auto",
     ) -> None:
         if nprocs <= 0:
             raise ValueError(f"nprocs must be positive, got {nprocs}")
+        if engine not in ("auto", "scalar", "vectorised"):
+            raise ValueError(
+                f"engine must be 'auto', 'scalar' or 'vectorised', got {engine!r}"
+            )
+        self.engine = engine
         self.nprocs = nprocs
         self.machine = machine or MachineConfig()
         if network is None:
@@ -299,6 +336,17 @@ class Simulator:
         self.time = 0.0
         self._done_count = 0
         self._started = False
+        # Concatenated per-rank lane columns for the vectorised drain (built
+        # in run() when that drain is selected); flat contiguous arrays so
+        # fancy-indexed gathers don't stride through a structured dtype.
+        self._arena_op = None
+        self._arena_a = None
+        self._arena_nbytes = None
+        self._arena_tag = None
+        self._arena_seconds = None
+        #: Number of cohorts executed through the vectorised lane (0 under
+        #: the scalar drain); exposed for tests and benchmarks.
+        self.vector_cohorts = 0
         self._op_table = {
             ComputeOp: self._op_compute,
             SendOp: self._op_send,
@@ -328,6 +376,18 @@ class Simulator:
         """Schedule the physical arrival of ``message`` at its destination."""
         self._push_typed(
             time if time > self.time else self.time, EVENT_DELIVER, message, posted
+        )
+
+    def schedule_delivery_batch(self, time: float, items) -> None:
+        """Schedule ``len(items)`` simultaneous arrivals as one batch record.
+
+        ``items`` holds ``(message, posted)`` pairs.  Sequence numbering and
+        event accounting are identical to ``len(items)`` consecutive
+        :meth:`schedule_delivery` calls (see
+        :meth:`repro.sim.events.EventQueue.push_deliver_batch`).
+        """
+        self._queue.push_deliver_batch(
+            time if time > self.time else self.time, items
         )
 
     # ------------------------------------------------------------------
@@ -394,13 +454,24 @@ class Simulator:
         for state in self._ranks:
             self.schedule_step(0.0, state, None)
 
+        compiled_count = sum(1 for s in self._ranks if s.compiled is not None)
+        use_vectorised = compiled_count > 0 and (
+            self.engine == "vectorised"
+            or (self.engine == "auto" and compiled_count >= _VECTOR_MIN_RANKS)
+        )
+        if use_vectorised:
+            self._build_lane_arena()
+
         # The run allocates ~15 short-lived objects per simulated message and
         # creates no reference cycles of its own; pausing the cyclic collector
         # avoids hundreds of pointless young-generation scans.
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            self._run_loop()
+            if use_vectorised:
+                self._run_loop_vectorised()
+            else:
+                self._run_loop()
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -537,6 +608,490 @@ class Simulator:
                     f"exceeded max_wall_seconds={self.max_wall_seconds:g}; "
                     "the simulation is livelocked or far larger than expected"
                 )
+
+    # ------------------------------------------------------------------
+    # Vectorised drain (cohort batching over compiled op lanes)
+    # ------------------------------------------------------------------
+    def _build_lane_arena(self) -> None:
+        """Concatenate every compiled rank's lane columns into flat arrays.
+
+        Each compiled rank's :meth:`OpArrays.columns` block lands at offset
+        ``state.cp_base``, so the global index of rank *r*'s next op is
+        ``r.cp_base + r.cp_cursor`` — one fancy-indexed gather pulls a whole
+        cohort's op codes (or peers, sizes, tags, seconds) at once.  The
+        fields are copied out to contiguous per-lane arrays: gathers on a
+        structured-array field view stride 40 bytes per element.
+        """
+        chunks = []
+        offset = 0
+        for state in self._ranks:
+            if state.compiled is None:
+                continue
+            cols = state.compiled.lanes.columns()
+            state.cp_base = offset
+            offset += len(cols)
+            chunks.append(cols)
+        arena = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        self._arena_op = np.ascontiguousarray(arena["op"])
+        self._arena_a = np.ascontiguousarray(arena["a"])
+        self._arena_nbytes = np.ascontiguousarray(arena["nbytes"])
+        self._arena_tag = np.ascontiguousarray(arena["tag"])
+        self._arena_seconds = np.ascontiguousarray(arena["seconds"])
+
+    def _run_loop_vectorised(self) -> None:
+        """The cohort-batching twin of :meth:`_run_loop`.
+
+        Identical drain order and side effects, with one addition: a run of
+        *consecutive* same-timestamp step records for compiled ranks (and any
+        ``EVENT_STEP_BATCH`` records, which only this loop creates) is
+        collected into a cohort and handed to :meth:`_exec_cohort`, which
+        executes same-op segments with one vectorised transport call instead
+        of one call per rank.  Consecutiveness is what preserves global
+        ``(time, seq)`` order: collection stops at the first record of any
+        other kind, so nothing is ever reordered across a delivery, callback
+        or generator-rank step.  Cohorts below ``_VECTOR_MIN_COHORT`` fall
+        back to the scalar :meth:`_step_compiled` per rank.
+        """
+        queue = self._queue
+        heap = queue._heap
+        fast = queue._fast
+        heappop = _heappop
+        deliver_cohort = self.transport.deliver_cohort
+        max_events = self.max_events
+        wall_deadline = (
+            _monotonic() + self.max_wall_seconds
+            if self.max_wall_seconds is not None
+            else None
+        )
+        step = self._step
+        step_compiled = self._step_compiled
+        exec_cohort = self._exec_cohort
+        min_cohort = _VECTOR_MIN_COHORT
+        current = self.time
+        while True:
+            # -- inline EventQueue.pop (batch-aware) --------------------
+            if fast:
+                if heap and heap[0] < fast[0]:
+                    record = heappop(heap)
+                else:
+                    record = fast.popleft()
+            elif heap:
+                record = heappop(heap)
+            else:
+                return
+            if record[EV_CANCELLED]:
+                continue
+            record[EV_POPPED] = True
+            kind = record[EV_KIND]
+            if kind >= EVENT_STEP_BATCH:  # the two batch kinds
+                n = len(record[EV_A])
+                queue._live -= n
+                queue._popped += n
+            else:
+                queue._live -= 1
+                queue._popped += 1
+            queue._now = time = record[EV_TIME]
+            # ----------------------------------------------------------
+            if time > current:
+                self.time = current = time
+            elif time < current - 1e-9:
+                raise SimulationError(
+                    f"time went backwards: event at {time} after {current}"
+                )
+            cohort = None
+            if kind == EVENT_STEP:
+                state = record[EV_A]
+                if state.compiled is None:
+                    step(state, record[EV_B])
+                else:
+                    cohort = [state]
+            elif kind == EVENT_STEP_BATCH:
+                cohort = list(record[EV_A])
+            elif kind == EVENT_DELIVER or kind == EVENT_DELIVER_BATCH:
+                # Collect the whole consecutive same-time run of deliveries —
+                # any destination, batch records inlined — then hand the run
+                # to one deliver_cohort call, which processes the exact
+                # per-message order the scalar drain would.  Deliveries never
+                # push records that could sort before the remaining delivery
+                # records (anything pushed at this timestamp gets a later
+                # sequence number), so collecting the run up front preserves
+                # the scalar execution order.
+                if kind == EVENT_DELIVER:
+                    items = [(record[EV_A], record[EV_B])]
+                else:
+                    items = record[EV_A]
+                while True:
+                    while heap and heap[0][EV_CANCELLED]:
+                        heappop(heap)
+                    while fast and fast[0][EV_CANCELLED]:
+                        fast.popleft()
+                    use_fast = fast and not (heap and heap[0] < fast[0])
+                    if use_fast:
+                        nxt = fast[0]
+                    elif heap:
+                        nxt = heap[0]
+                    else:
+                        break
+                    if nxt[EV_TIME] != time:
+                        break
+                    nk = nxt[EV_KIND]
+                    if nk == EVENT_DELIVER:
+                        items.append((nxt[EV_A], nxt[EV_B]))
+                        queue._live -= 1
+                        queue._popped += 1
+                    elif nk == EVENT_DELIVER_BATCH:
+                        items.extend(nxt[EV_A])
+                        k = len(nxt[EV_A])
+                        queue._live -= k
+                        queue._popped += k
+                    else:
+                        break
+                    if use_fast:
+                        fast.popleft()
+                    else:
+                        heappop(heap)
+                    nxt[EV_POPPED] = True
+                deliver_cohort(items, time)
+            else:
+                record[EV_A]()
+            if cohort is not None:
+                # Extend the cohort with the consecutive run of same-time
+                # compiled step (or batch) records behind the one just
+                # popped.  The pop below mirrors EventQueue.pop for the
+                # record peeked at, cancelled heads purged first.
+                while True:
+                    while heap and heap[0][EV_CANCELLED]:
+                        heappop(heap)
+                    while fast and fast[0][EV_CANCELLED]:
+                        fast.popleft()
+                    use_fast = fast and not (heap and heap[0] < fast[0])
+                    if use_fast:
+                        nxt = fast[0]
+                    elif heap:
+                        nxt = heap[0]
+                    else:
+                        break
+                    if nxt[EV_TIME] != time:
+                        break
+                    nk = nxt[EV_KIND]
+                    if nk == EVENT_STEP:
+                        s = nxt[EV_A]
+                        if s.compiled is None:
+                            break
+                        cohort.append(s)
+                        queue._live -= 1
+                        queue._popped += 1
+                    elif nk == EVENT_STEP_BATCH:
+                        cohort.extend(nxt[EV_A])
+                        k = len(nxt[EV_A])
+                        queue._live -= k
+                        queue._popped += k
+                    else:
+                        break
+                    if use_fast:
+                        fast.popleft()
+                    else:
+                        heappop(heap)
+                    nxt[EV_POPPED] = True
+                if len(cohort) >= min_cohort:
+                    exec_cohort(cohort)
+                else:
+                    for s in cohort:
+                        step_compiled(s)
+            if max_events is not None and queue._popped > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "the workload is larger than expected or the simulation is livelocked"
+                )
+            if (
+                wall_deadline is not None
+                and not (queue._popped & 1023)
+                and _monotonic() > wall_deadline
+            ):
+                raise TimeLimitExceeded(
+                    f"exceeded max_wall_seconds={self.max_wall_seconds:g}; "
+                    "the simulation is livelocked or far larger than expected"
+                )
+
+    def _exec_cohort(self, states: list[RankState]) -> None:
+        """Execute one timestamp cohort of compiled-rank steps, batched.
+
+        The cohort is walked in popped (``seq``) order and split into runs of
+        consecutive states whose next op has the same code; each vectorisable
+        run (compute without a stall fault, isend, irecv) executes through
+        one batch handler, everything else falls back to per-rank
+        :meth:`_step_compiled`.  Segment-by-segment execution in cohort order
+        makes every side effect — transport calls, RNG draws, event pushes —
+        happen in exactly the scalar loop's order, so outputs stay
+        bit-identical.
+
+        Reading every state's cursor up front (before any segment executes)
+        is safe: cohort members are READY, so no segment's transport activity
+        can complete a blocked wait and move another member's cursor.
+        """
+        self.vector_cohorts += 1
+        step_compiled = self._step_compiled
+        segments = []
+        seg = None
+        seg_code = -1
+        for s in states:
+            if s.status is _DONE:
+                raise SimulationError(f"rank {s.rank} stepped after completion")
+            i = s.cp_cursor
+            if i >= s.cp_len:
+                # Past the last op: the generator path's StopIteration.
+                # (Retiring a rank pushes nothing, so it never splits a
+                # segment.)
+                s.steps += 1
+                s.status = _DONE
+                self._done_count += 1
+                continue
+            code = s.cp_op[i]
+            if seg is not None and code == seg_code:
+                seg.append(s)
+            else:
+                seg = [s]
+                seg_code = code
+                segments.append((code, seg))
+        fault_stall = self._fault_stall
+        for code, seg in segments:
+            if len(seg) < 2:
+                step_compiled(seg[0])
+            elif code == OP_COMPUTE and fault_stall is None:
+                self._vec_compute(seg)
+            elif code == OP_ISEND:
+                self._vec_isend(seg)
+            elif code == OP_IRECV:
+                self._vec_irecv(seg)
+            elif code == OP_WAITALL:
+                self._vec_waitall(seg)
+            else:
+                for s in seg:
+                    step_compiled(s)
+
+    def _push_segment_steps(self, seg: list[RankState], times: list[float]) -> None:
+        """Push the next-step records for an executed segment.
+
+        When every state steps again at the same timestamp (the common case
+        in lockstep phases), one ``EVENT_STEP_BATCH`` record stands in for
+        the whole segment — the sequence counter still advances by the
+        segment size, so later pushes sort after the batch exactly as they
+        would after the individual records.  Otherwise the records are pushed
+        individually in segment order, mirroring ``EventQueue.push_typed``
+        like every other inlined push in this module.
+        """
+        queue = self._queue
+        n = len(times)
+        t0 = times[0]
+        batch = True
+        for j in range(1, n):
+            if times[j] != t0:
+                batch = False
+                break
+        fast = queue._fast
+        if batch:
+            seq = queue._seq
+            queue._seq = seq + n
+            record = [t0, seq, EVENT_STEP_BATCH, seg, None, False, False]
+            queue._live += n
+            if t0 == queue._now and (not fast or fast[-1][EV_TIME] == t0):
+                fast.append(record)
+            else:
+                _heappush(queue._heap, record)
+            return
+        for j, s in enumerate(seg):
+            t = times[j]
+            seq = queue._seq
+            queue._seq = seq + 1
+            record = [t, seq, EVENT_STEP, s, None, False, False]
+            queue._live += 1
+            if t == queue._now and (not fast or fast[-1][EV_TIME] == t):
+                fast.append(record)
+            else:
+                _heappush(queue._heap, record)
+
+    def _vec_compute(self, seg: list[RankState]) -> None:
+        """Advance a segment of compute ops with one vector expression.
+
+        Bit-identity with the scalar branch relies on IEEE basics: the
+        unflagged lanes multiply by exactly 1.0 (``x * 1.0 == x``), flagged
+        lanes multiply by the same per-rank noise draw the scalar path would
+        take (drawn here in segment order = rank stream order), and
+        float64 ``+``/``maximum`` are the same operations ``state.now +
+        seconds`` and the push clamp perform.  Small segments skip the numpy
+        gather and read the list lanes like the scalar path (with the loop
+        locals hoisted); both variants share the batched record push.
+        """
+        n = len(seg)
+        sim_time = self.time
+        if n < _VECTOR_GATHER_MIN:
+            times = []
+            append = times.append
+            for s in seg:
+                s.steps += 1
+                i = s.cp_cursor
+                s.cp_cursor = i + 1
+                seconds = s.cp_seconds[i]
+                if s.cp_a[i]:
+                    seconds *= s.compiled.next_noise()
+                s.now = t = s.now + seconds
+                append(t if t > sim_time else sim_time)
+            self._push_segment_steps(seg, times)
+            return
+        idx = np.fromiter(
+            (s.cp_base + s.cp_cursor for s in seg), dtype=np.int64, count=n
+        )
+        secs = self._arena_seconds[idx]
+        flags = self._arena_a[idx]
+        if flags.any():
+            factors = np.ones(n, dtype=np.float64)
+            flag_list = flags.tolist()
+            for j, s in enumerate(seg):
+                if flag_list[j]:
+                    factors[j] = s.compiled.next_noise()
+            secs = secs * factors
+        nows = np.fromiter((s.now for s in seg), dtype=np.float64, count=n)
+        new_nows = (nows + secs).tolist()
+        event_times = np.maximum(new_nows, sim_time).tolist()
+        for j, s in enumerate(seg):
+            s.steps += 1
+            s.cp_cursor += 1
+            s.now = new_nows[j]
+        self._push_segment_steps(seg, event_times)
+
+    def _vec_isend(self, seg: list[RankState]) -> None:
+        """Post a segment of isends through one transport burst call."""
+        n = len(seg)
+        if n < _VECTOR_GATHER_MIN:
+            ranks = []
+            dsts = []
+            nbytes_list = []
+            tags = []
+            kinds = []
+            nows = []
+            for s in seg:
+                i = s.cp_cursor
+                ranks.append(s.rank)
+                dsts.append(s.cp_a[i])
+                nbytes_list.append(s.cp_nbytes[i])
+                tags.append(s.cp_tag[i])
+                kinds.append(s.cp_kind[i])
+                nows.append(s.now)
+        else:
+            idx = np.fromiter(
+                (s.cp_base + s.cp_cursor for s in seg), dtype=np.int64, count=n
+            )
+            dsts = self._arena_a[idx].tolist()
+            nbytes_list = self._arena_nbytes[idx].tolist()
+            tags = self._arena_tag[idx].tolist()
+            ranks = []
+            kinds = []
+            nows = []
+            for s in seg:
+                ranks.append(s.rank)
+                kinds.append(s.cp_kind[s.cp_cursor])
+                nows.append(s.now)
+        requests = self.transport.post_send_burst(
+            ranks, dsts, nbytes_list, tags, kinds, nows
+        )
+        send_overhead = self.machine.send_overhead
+        sim_time = self.time
+        times = []
+        append = times.append
+        for j, s in enumerate(seg):
+            s.steps += 1
+            s.cp_cursor += 1
+            s.cp_pending.append(requests[j])
+            s.now = t = s.now + send_overhead
+            append(t if t > sim_time else sim_time)
+        self._push_segment_steps(seg, times)
+
+    def _vec_irecv(self, seg: list[RankState]) -> None:
+        """Post a segment of irecvs through one transport burst call."""
+        n = len(seg)
+        if n < _VECTOR_GATHER_MIN:
+            ranks = []
+            sources = []
+            tags = []
+            kinds = []
+            nows = []
+            for s in seg:
+                i = s.cp_cursor
+                ranks.append(s.rank)
+                sources.append(s.cp_a[i])
+                tags.append(s.cp_tag[i])
+                kinds.append(s.cp_kind[i])
+                nows.append(s.now)
+        else:
+            idx = np.fromiter(
+                (s.cp_base + s.cp_cursor for s in seg), dtype=np.int64, count=n
+            )
+            sources = self._arena_a[idx].tolist()
+            tags = self._arena_tag[idx].tolist()
+            ranks = []
+            kinds = []
+            nows = []
+            for s in seg:
+                ranks.append(s.rank)
+                kinds.append(s.cp_kind[s.cp_cursor])
+                nows.append(s.now)
+        requests = self.transport.post_recv_burst(ranks, sources, tags, kinds, nows)
+        sim_time = self.time
+        times = []
+        append = times.append
+        for j, s in enumerate(seg):
+            s.steps += 1
+            s.cp_cursor += 1
+            s.cp_pending.append(requests[j])
+            t = s.now
+            append(t if t > sim_time else sim_time)
+        self._push_segment_steps(seg, times)
+
+    def _vec_waitall(self, seg: list[RankState]) -> None:
+        """Retire a segment of waitall ops whose requests have all completed.
+
+        The scalar waitall branch routes through :meth:`_block_on` /
+        :meth:`_resume` even when nothing is pending, paying a per-rank
+        resume-record push.  Here the already-complete ranks (the common case
+        once a delivery burst has drained before the waitall cohort) take the
+        resume bookkeeping inline — same clock advance, same freelist release
+        order, same ``None`` step value — and share one batched record push.
+        Ranks with requests still in flight fall back to the exact scalar
+        call, which pushes nothing now, so the records of the completed ranks
+        keep the same relative sequence order the scalar loop would produce.
+        """
+        # Every request released below was just verified complete, so it goes
+        # back to the freelist directly — release_request's guard would only
+        # re-check that — in the order release_request would append.
+        release = self.transport._request_pool.append
+        sim_time = self.time
+        batch: list[RankState] = []
+        times: list[float] = []
+        for s in seg:
+            s.steps += 1
+            s.cp_cursor += 1
+            requests = s.cp_pending
+            s.cp_pending = []
+            complete = True
+            for r in requests:
+                if not r.completed:
+                    complete = False
+                    break
+            if not complete:
+                self._block_on(s, requests, _result_none, "waitall", recycle=True)
+                continue
+            completion = s.now
+            for r in requests:
+                ct = r.completion_time
+                if ct > completion:
+                    completion = ct
+            s.now = completion
+            for r in requests:
+                release(r)
+            batch.append(s)
+            times.append(completion if completion > sim_time else sim_time)
+        if batch:
+            self._push_segment_steps(batch, times)
 
     # ------------------------------------------------------------------
     # Rank stepping

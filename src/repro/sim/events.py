@@ -22,6 +22,18 @@ event:
   receive (or None): a payload physically arrives at its destination rank.
   The engine coalesces consecutive same-timestamp deliveries to one receiver
   into a burst.
+* :data:`EVENT_STEP_BATCH` — ``a`` is a list of compiled rank states that all
+  step at the record's timestamp, ``b`` unused.  One batch record stands for
+  ``len(a)`` individual :data:`EVENT_STEP` records with consecutive sequence
+  numbers; the queue's counters account for all of them at push and pop, so
+  ``len(queue)`` and :attr:`events_processed` are identical to pushing the
+  steps one by one.  Only the vectorised engine drain creates these.
+* :data:`EVENT_DELIVER_BATCH` — ``a`` is a list of ``(message, posted)``
+  pairs that all arrive at the record's timestamp, ``b`` unused.  The same
+  sequence/counter contract as :data:`EVENT_STEP_BATCH`: one record stands
+  for ``len(a)`` consecutive :data:`EVENT_DELIVER` records.  Only the
+  vectorised send path creates these (a deterministic eager burst whose
+  arrivals all coincide).
 
 Two structural fast paths keep the common cases cheap:
 
@@ -45,12 +57,15 @@ __all__ = [
     "EVENT_CALLBACK",
     "EVENT_STEP",
     "EVENT_DELIVER",
+    "EVENT_STEP_BATCH",
+    "EVENT_DELIVER_BATCH",
     "EV_TIME",
     "EV_SEQ",
     "EV_KIND",
     "EV_A",
     "EV_B",
     "EV_CANCELLED",
+    "EV_POPPED",
     "EventQueue",
 ]
 
@@ -60,6 +75,13 @@ EVENT_CALLBACK = 0
 EVENT_STEP = 1
 #: ``a`` is the message, ``b`` the pre-matched posted receive (or None).
 EVENT_DELIVER = 2
+#: ``a`` is a list of compiled rank states stepping together, ``b`` unused.
+EVENT_STEP_BATCH = 3
+#: ``a`` is a list of ``(message, posted)`` pairs arriving together, ``b`` unused.
+EVENT_DELIVER_BATCH = 4
+
+#: Kinds whose ``a`` slot holds a list standing for ``len(a)`` events.
+_BATCH_KINDS = (EVENT_STEP_BATCH, EVENT_DELIVER_BATCH)
 
 #: Indices into an event record.
 EV_TIME, EV_SEQ, EV_KIND, EV_A, EV_B, EV_CANCELLED, EV_POPPED = range(7)
@@ -124,12 +146,52 @@ class EventQueue:
             heapq.heappush(self._heap, record)
         return record
 
+    def push_step_batch(self, time: float, states: list) -> list:
+        """Schedule one :data:`EVENT_STEP_BATCH` record for ``len(states)`` steps.
+
+        Equivalent to ``len(states)`` consecutive ``push_typed(time,
+        EVENT_STEP, state)`` calls: the sequence counter advances by the
+        batch size (so every later push still sorts after the whole batch)
+        and the live counter accounts for every state.  The record's ``seq``
+        is the first of the consumed block, which is exactly where the first
+        individual record would have sorted.
+        """
+        return self._push_batch(time, EVENT_STEP_BATCH, states)
+
+    def push_deliver_batch(self, time: float, items: list) -> list:
+        """Schedule one :data:`EVENT_DELIVER_BATCH` for ``len(items)`` arrivals.
+
+        ``items`` holds ``(message, posted)`` pairs that all arrive at
+        ``time``; the sequence/counter contract is that of
+        :meth:`push_step_batch` — the record stands for ``len(items)``
+        consecutive :data:`EVENT_DELIVER` pushes.
+        """
+        return self._push_batch(time, EVENT_DELIVER_BATCH, items)
+
+    def _push_batch(self, time: float, kind: int, payload: list) -> list:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        n = len(payload)
+        seq = self._seq
+        self._seq = seq + n
+        record = [time, seq, kind, payload, None, False, False]
+        self._live += n
+        fast = self._fast
+        if time == self._now and (not fast or fast[-1][EV_TIME] == time):
+            fast.append(record)
+        else:
+            heapq.heappush(self._heap, record)
+        return record
+
     def cancel(self, record: list) -> None:
         """Mark a pending event so it will be skipped when reached."""
         if not record[EV_CANCELLED]:
             record[EV_CANCELLED] = True
             if not record[EV_POPPED]:
-                self._live -= 1
+                if record[EV_KIND] in _BATCH_KINDS:
+                    self._live -= len(record[EV_A])
+                else:
+                    self._live -= 1
 
     # ------------------------------------------------------------------
     # Draining
@@ -150,8 +212,13 @@ class EventQueue:
             if record[EV_CANCELLED]:
                 continue
             record[EV_POPPED] = True
-            self._live -= 1
-            self._popped += 1
+            if record[EV_KIND] in _BATCH_KINDS:
+                n = len(record[EV_A])
+                self._live -= n
+                self._popped += n
+            else:
+                self._live -= 1
+                self._popped += 1
             self._now = record[EV_TIME]
             return record
 
@@ -180,7 +247,17 @@ class EventQueue:
         the same timestamp land in the fast lane and form the next batch, so
         global ordering is preserved.
 
-        This is the queue-level cohort API for external drivers;
+        **Same-cohort cancellation caveat**: because the whole cohort is
+        popped *before* any of its records execute, a callback early in the
+        batch that cancels a later record of the same cohort is too late to
+        keep that record out of the returned list — it is already popped and
+        counted.  A driver using this API must therefore re-check
+        ``record[EV_CANCELLED]`` before executing each record and call
+        :meth:`discount_cancelled` for every record it skips.  Drivers that
+        would rather not carry that contract should drain with
+        :meth:`iter_cohort`, which pops lazily and handles same-cohort
+        cancellation by construction.
+
         :meth:`repro.sim.engine.Simulator._run_loop` streams through an
         inlined equivalent (record by record, without materialising the
         batch list) — keep the two in sync.
@@ -203,9 +280,37 @@ class EventQueue:
             else:
                 return batch
             record[EV_POPPED] = True
-            self._live -= 1
-            self._popped += 1
+            if record[EV_KIND] in _BATCH_KINDS:
+                n = len(record[EV_A])
+                self._live -= n
+                self._popped += n
+            else:
+                self._live -= 1
+                self._popped += 1
             batch.append(record)
+
+    def iter_cohort(self):
+        """Lazily yield the cohort of events sharing the earliest timestamp.
+
+        The cancellation-safe sibling of :meth:`pop_batch`: each record is
+        popped only when the iterator advances, so an event cancelled by an
+        *earlier record of the same cohort* is skipped like any other
+        cancelled event and never counted in :attr:`events_processed` — no
+        :meth:`discount_cancelled` bookkeeping required.  Records pushed at
+        the cohort's timestamp while it executes are yielded as part of the
+        same cohort (they land in the fast lane with larger sequence
+        numbers), matching one-pop-at-a-time drain order exactly.
+        """
+        record = self.pop()
+        if record is None:
+            return
+        yield record
+        time = record[EV_TIME]
+        while True:
+            record = self.peek_record()
+            if record is None or record[EV_TIME] != time:
+                return
+            yield self.pop()
 
     def discount_cancelled(self) -> None:
         """Un-count one popped-but-cancelled event from ``events_processed``.
@@ -214,8 +319,9 @@ class EventQueue:
         the *same* cohort after :meth:`pop_batch` already popped it; a driver
         draining with :meth:`pop_batch` should skip such records and call
         this so the processed-event count matches one-pop-at-a-time
-        semantics.  (The engine's run loop pops record by record, so
-        cancellations are filtered before counting and it never needs this.)
+        semantics.  (The engine's run loop pops record by record — and
+        :meth:`iter_cohort` pops lazily — so cancellations are filtered
+        before counting and neither ever needs this.)
         """
         self._popped -= 1
 

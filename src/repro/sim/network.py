@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.util.rng import SeededRNG
 from repro.util.validation import check_non_negative, check_positive, check_probability
 
@@ -35,9 +37,12 @@ class NetworkConfig:
     Attributes
     ----------
     latency:
-        Base one-way latency in seconds for any message.
+        Base one-way latency in seconds for any message.  ``0`` is allowed
+        and models an *ideal* network — used by the scaling benchmarks to
+        keep rank clocks in lockstep so timestamp cohorts stay wide.
     bandwidth:
-        Link bandwidth in bytes/second.
+        Link bandwidth in bytes/second (``float("inf")`` is accepted: the
+        serialization term becomes exactly zero).
     jitter_sigma:
         Scale of the half-normal per-message jitter, expressed as a fraction
         of ``latency``.  ``0`` gives a perfectly deterministic network, in
@@ -68,7 +73,7 @@ class NetworkConfig:
     seed: int | None = None
 
     def __post_init__(self) -> None:
-        check_positive("latency", self.latency)
+        check_non_negative("latency", self.latency)
         check_positive("bandwidth", self.bandwidth)
         check_non_negative("jitter_sigma", self.jitter_sigma)
         check_probability("drop_probability", self.drop_probability)
@@ -211,3 +216,40 @@ class NetworkModel:
         self.messages_timed += 1
         self.total_bytes += int(nbytes)
         return arrival
+
+    @property
+    def deterministic(self) -> bool:
+        """True when :meth:`arrival_time` is a pure function of its arguments.
+
+        Requires no jitter (no RNG consumption), no drop/retransmit draws,
+        no per-destination contention state, and no attached degradation
+        model.  Exactly this condition makes :meth:`batch_arrival_times`
+        valid, because per-message call *order* stops mattering.
+        """
+        return (
+            self._jitter_scale <= 0.0
+            and self._drop_probability == 0.0
+            and not self._contention
+            and self._degrade_multiplier is None
+        )
+
+    def batch_arrival_times(self, nbytes, inject_times):
+        """Vectorised :meth:`arrival_time` for a burst of messages, or ``None``.
+
+        ``nbytes`` and ``inject_times`` are equal-length numpy arrays (int64
+        and float64).  Only available when the model is :attr:`deterministic`
+        — the scalar path then computes ``inject + (latency + nbytes/bw)``
+        with no RNG draws and no cross-message state, so one vector
+        expression with the same float grouping is bit-identical, in any
+        order.  Returns ``None`` otherwise; the caller must fall back to
+        per-message :meth:`arrival_time` calls.
+        """
+        if not self.deterministic:
+            return None
+        # Same grouping as the scalar path: (latency + serialization) is one
+        # term, and jitter/penalty are exact zeros there (x + 0.0 == x).
+        transfer = self._latency + nbytes / self._bandwidth
+        arrivals = inject_times + transfer
+        self.messages_timed += len(arrivals)
+        self.total_bytes += int(np.sum(nbytes))
+        return arrivals

@@ -39,6 +39,7 @@ def run_workload(
     tracer: TwoLevelTracer | bool | None = True,
     max_events: int | None = None,
     compiled: bool = True,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Run ``workload`` and return the simulation result.
 
@@ -67,6 +68,10 @@ def run_workload(
         the generator protocol for every rank.  Simulation outputs are
         bit-identical either way; the flag exists for benchmarks and the
         equivalence tests.
+    engine:
+        Run-loop drain selection (``"auto"``/``"scalar"``/``"vectorised"``),
+        forwarded to :class:`~repro.sim.engine.Simulator`.  Outputs are
+        bit-identical across drains.
     """
     # Imported here: the workloads package initialises before the scenario
     # layer (scenario specs import workload classes), so the shim resolves
@@ -80,6 +85,7 @@ def run_workload(
         trace=TraceSpec(enabled=tracer is not None and tracer is not False),
         max_events=max_events,
         compiled=compiled,
+        engine=engine,
     )
     scenario = Scenario(
         spec,

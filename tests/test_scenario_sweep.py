@@ -188,3 +188,60 @@ class TestRunAll:
 
     def test_empty_sweep(self):
         assert Sweep().run_all() == []
+
+
+class TestAccuracyTable:
+    """sweep_accuracy_table over finished sweeps (and the CLI flag)."""
+
+    def test_paper_subset_rows(self):
+        from repro.scenario import sweep_accuracy_table
+
+        sweep = load_sweep(EXAMPLES_DIR / "sweep_paper_subset.toml")
+        results = sweep.run_all()
+        rows = sweep_accuracy_table(results)
+        assert len(rows) == len(results)
+        assert [row["cell"] for row in rows] == list(range(len(results)))
+        for row, outcome in zip(rows, results):
+            assert row["status"] == "ok"
+            assert row["label"] == outcome.spec.label
+            assert row["policy"] == outcome.spec.policy.kind
+            assert row["stream_length"] > 0
+            # One percentage per prediction horizon, +1 first; all in [0, 100].
+            assert len(row["accuracy_pct"]) == outcome.spec.predictor.horizon
+            assert all(0.0 <= pct <= 100.0 for pct in row["accuracy_pct"])
+            assert 0.0 <= row["coverage_pct"] <= 100.0
+            # Consistent with calling predict() on the cell directly.
+            accuracy = outcome.predict(kind="sender", level="logical")
+            assert row["accuracy_pct"][0] == round(accuracy.as_percentages()[0], 2)
+
+    def test_untraced_cell_keeps_slot_without_metrics(self):
+        from repro.scenario import sweep_accuracy_table
+
+        sweep = Sweep(
+            base={
+                "workload": "bt.4:scale=0.03",
+                "seed": 5,
+                "trace": {"enabled": False},
+            }
+        )
+        (row,) = sweep_accuracy_table(sweep.run_all())
+        assert row["status"] == "untraced"
+        assert row["accuracy_pct"] is None
+        assert row["coverage_pct"] is None
+
+    def test_cli_accuracy_table_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep",
+                str(EXAMPLES_DIR / "sweep_paper_subset.toml"),
+                "--accuracy-table",
+                "--engine",
+                "vectorised",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sender prediction accuracy" in out
+        assert "+1" in out and "coverage" in out

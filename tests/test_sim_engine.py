@@ -445,3 +445,59 @@ class TestCollectivesThroughEngine:
 
         result = make_sim(nprocs=3).run([program])
         assert result.stats.rendezvous_messages == 6
+
+
+class TestDrainCancellation:
+    """Same-cohort cancellation through the inlined run-loop drains.
+
+    Both run loops pop record by record (scalar directly, vectorised via the
+    cohort collector), so a callback cancelling a *later* record at the same
+    timestamp keeps that record from ever executing or being counted — the
+    engine never needs ``discount_cancelled`` (the ``pop_batch`` caveat is a
+    queue-API contract, not an engine behaviour).
+    """
+
+    @staticmethod
+    def _empty_program(ctx):
+        if False:
+            yield None
+
+    def _plant(self, sim, fired):
+        holder = {}
+
+        def canceller():
+            fired.append("canceller")
+            sim._queue.cancel(holder["victim"])
+
+        sim._queue.push(5.0, canceller)
+        holder["victim"] = sim._queue.push(5.0, lambda: fired.append("victim"))
+
+    def test_scalar_drain_skips_same_cohort_cancelled(self):
+        fired = []
+        sim = make_sim(nprocs=1, tracer=False)
+        self._plant(sim, fired)
+        result = sim.run([self._empty_program])
+        assert fired == ["canceller"]
+        # One step per rank plus the canceller; the victim is never counted.
+        assert result.events_processed == 2
+
+    def test_vectorised_drain_skips_same_cohort_cancelled(self):
+        from repro.workloads.registry import create_workload
+
+        workload = create_workload("bt", 4, scale=0.02)
+        results = []
+        for engine in ("scalar", "vectorised"):
+            fired = []
+            sim = Simulator(
+                nprocs=4,
+                seed=1,
+                network=NetworkConfig.noiseless(seed=1),
+                tracer=False,
+                engine=engine,
+            )
+            self._plant(sim, fired)
+            results.append(sim.run([workload.program_for]))
+            assert fired == ["canceller"]
+        scalar, vectorised = results
+        assert vectorised.events_processed == scalar.events_processed
+        assert vectorised.makespan == scalar.makespan

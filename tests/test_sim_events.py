@@ -5,12 +5,15 @@ import pytest
 from repro.sim.events import (
     EV_A,
     EV_B,
+    EV_CANCELLED,
     EV_KIND,
     EV_SEQ,
     EV_TIME,
     EVENT_CALLBACK,
     EVENT_DELIVER,
+    EVENT_DELIVER_BATCH,
     EVENT_STEP,
+    EVENT_STEP_BATCH,
     EventQueue,
 )
 
@@ -193,6 +196,120 @@ class TestPopBatch:
         assert queue.events_processed == 1
         queue.discount_cancelled()
         assert queue.events_processed == 0
+
+    def test_same_cohort_cancellation_contract(self):
+        # The documented pop_batch caveat: the whole cohort is popped before
+        # any record executes, so a callback cancelling a *later* record of
+        # the same cohort is too late to keep it out of the returned list.
+        # The driver contract is to re-check EV_CANCELLED per record and
+        # discount the skipped ones.
+        queue = EventQueue()
+        fired = []
+        holder = {}
+        queue.push_typed(1.0, EVENT_CALLBACK, lambda: queue.cancel(holder["victim"]))
+        holder["victim"] = queue.push_typed(
+            1.0, EVENT_CALLBACK, lambda: fired.append("victim")
+        )
+        batch = queue.pop_batch()
+        assert len(batch) == 2  # victim is already popped and counted
+        assert queue.events_processed == 2
+        executed = 0
+        for record in batch:
+            if record[EV_CANCELLED]:
+                queue.discount_cancelled()
+                continue
+            record[EV_A]()
+            executed += 1
+        assert executed == 1
+        assert fired == []  # the canceller ran; the victim never did
+        assert queue.events_processed == 1  # matches one-pop-at-a-time drain
+
+
+class TestIterCohort:
+    def test_yields_cohort_in_order_then_stops(self):
+        queue = EventQueue()
+        records = [queue.push_typed(1.0, EVENT_CALLBACK, i) for i in range(4)]
+        later = queue.push_typed(2.0, EVENT_CALLBACK, "later")
+        assert list(queue.iter_cohort()) == records
+        assert list(queue.iter_cohort()) == [later]
+        assert list(queue.iter_cohort()) == []
+
+    def test_same_cohort_cancellation_is_safe_by_construction(self):
+        # iter_cohort pops lazily, so a record cancelled by an earlier record
+        # of the same cohort is skipped and never counted — no
+        # discount_cancelled bookkeeping needed.
+        queue = EventQueue()
+        fired = []
+        holder = {}
+        queue.push_typed(1.0, EVENT_CALLBACK, lambda: queue.cancel(holder["victim"]))
+        holder["victim"] = queue.push_typed(
+            1.0, EVENT_CALLBACK, lambda: fired.append("victim")
+        )
+        survivor = queue.push_typed(1.0, EVENT_CALLBACK, lambda: fired.append("ok"))
+        for record in queue.iter_cohort():
+            record[EV_A]()
+        assert fired == ["ok"]
+        assert survivor[EV_CANCELLED] is False
+        assert queue.events_processed == 2  # canceller + survivor, not the victim
+
+    def test_same_time_push_during_iteration_joins_cohort(self):
+        queue = EventQueue()
+        fired = []
+        queue.push_typed(
+            1.0, EVENT_CALLBACK, lambda: queue.push(1.0, lambda: fired.append("late"))
+        )
+        for record in queue.iter_cohort():
+            record[EV_A]()
+        assert fired == ["late"]
+
+
+class TestBatchRecords:
+    def test_step_batch_counts_as_len_states(self):
+        queue = EventQueue()
+        states = [object(), object(), object()]
+        record = queue.push_step_batch(1.0, states)
+        assert record[EV_KIND] == EVENT_STEP_BATCH
+        assert record[EV_A] is states
+        assert len(queue) == 3
+        assert queue.pop() is record
+        assert len(queue) == 0
+        assert queue.events_processed == 3
+
+    def test_deliver_batch_counts_as_len_items(self):
+        queue = EventQueue()
+        items = [(object(), None), (object(), None)]
+        record = queue.push_deliver_batch(2.0, items)
+        assert record[EV_KIND] == EVENT_DELIVER_BATCH
+        assert record[EV_A] is items
+        assert len(queue) == 2
+        assert queue.pop() is record
+        assert queue.events_processed == 2
+
+    def test_batch_advances_seq_by_batch_size(self):
+        # Later pushes must sort after the whole batch, exactly as if its
+        # events had been pushed one by one.
+        queue = EventQueue()
+        batch = queue.push_step_batch(1.0, [object()] * 5)
+        single = queue.push_typed(1.0, EVENT_CALLBACK, None)
+        assert single[EV_SEQ] == batch[EV_SEQ] + 5
+
+    def test_cancel_batch_discounts_all_members(self):
+        queue = EventQueue()
+        record = queue.push_deliver_batch(1.0, [(object(), None)] * 4)
+        assert len(queue) == 4
+        queue.cancel(record)
+        assert len(queue) == 0
+        queue.cancel(record)  # idempotent
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_batch_interleaves_with_singles_by_seq(self):
+        queue = EventQueue()
+        first = queue.push_typed(1.0, EVENT_CALLBACK, "a")
+        batch = queue.push_step_batch(1.0, [object(), object()])
+        last = queue.push_typed(1.0, EVENT_CALLBACK, "b")
+        assert [queue.pop() for _ in range(3)] == [first, batch, last]
+        assert queue.events_processed == 4
 
 
 class TestZeroDelayFastLane:

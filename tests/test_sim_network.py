@@ -13,7 +13,18 @@ class TestNetworkConfig:
 
     def test_invalid_latency(self):
         with pytest.raises(ValueError):
-            NetworkConfig(latency=0.0)
+            NetworkConfig(latency=-1.0e-6)
+
+    def test_zero_latency_ideal_network(self):
+        # latency=0 models the ideal network used by the scaling benchmarks
+        # (lockstep clocks -> wide timestamp cohorts); it must validate and
+        # produce exact arrival times.
+        config = NetworkConfig(
+            latency=0.0, bandwidth=float("inf"), jitter_sigma=0.0, contention=False
+        )
+        model = NetworkModel(config)
+        assert model.deterministic
+        assert model.arrival_time(0, 1, 1024, 5.0) == 5.0
 
     def test_invalid_bandwidth(self):
         with pytest.raises(ValueError):
