@@ -571,7 +571,22 @@ def _scale_run(name: str, nprocs: int, engine: str):
 
 #: Iterations per job size: enough work to time reliably at 64 ranks without
 #: making the 4096-rank rows (millions of events per iteration) take minutes.
-_SCALE_ITERATIONS = {64: 8, 256: 4, 1024: 1, 4096: 1}
+_SCALE_ITERATIONS = {64: 8, 256: 4, 1024: 1, 4096: 1, 16384: 1}
+
+
+def _partitioned_scale_run(name: str, nprocs: int, engine: str, engine_jobs: int):
+    from repro.analysis.scaling import partitioned_scale_configs
+
+    machine, network = partitioned_scale_configs()
+    return run_workload(
+        _scale_workload(name, nprocs),
+        seed=2003,
+        machine=machine,
+        network=network,
+        tracer=False,
+        engine=engine,
+        engine_jobs=engine_jobs,
+    )
 
 
 class TestScaleMicrobenchmarks:
@@ -621,6 +636,60 @@ class TestScaleMicrobenchmarks:
                 "workload": workload,
                 "nprocs": nprocs,
                 "engine": engine,
+                "iterations": _SCALE_ITERATIONS[nprocs],
+                "events": result.events_processed,
+                "wall_s": round(mean, 4),
+                "events_per_sec": round(result.events_processed / mean, 1),
+            }
+        )
+
+    @pytest.mark.parametrize("engine", ["vectorised", "parallel"])
+    @pytest.mark.parametrize("nprocs", [1024, 4096, 16384])
+    def test_bench_scale_parallel(self, benchmark, nprocs, engine):
+        """Conservative parallel engine vs the in-process vectorised drain.
+
+        Runs under :func:`repro.analysis.scaling.partitioned_scale_configs`
+        (noiseless 2 µs latency: near-lockstep cohorts *and* a positive
+        lookahead for the conservative windows) on lockstep bt, with
+        ``engine_jobs=4`` worker processes.  Both engines are measured on
+        the same configuration so the throughput ratio of a row pair reads
+        straight out of ``BENCH_scale.json``.  On a single-CPU host the
+        workers time-share one core, so the parallel rows measure the
+        window/barrier protocol overhead rather than concurrency — the
+        ``note`` field of the committed artefact records the measuring
+        host's core count.
+
+        The 16384-rank rows hold ~5 GB resident and run for minutes, so
+        they only run when ``REPRO_SCALE_XL`` is set (the environment
+        propagates through ``repro bench``'s pytest subprocess); plain
+        tier-1 runs and CI runners skip them.
+        """
+        from repro.workloads.compile import compile_rank_lanes
+
+        if nprocs >= 16384 and not os.environ.get("REPRO_SCALE_XL"):
+            pytest.skip("16384-rank rows need REPRO_SCALE_XL=1 (~5 GB resident)")
+
+        engine_jobs = 4
+        primed = _scale_workload("bt", nprocs)
+        for rank in range(primed.nprocs):
+            compile_rank_lanes(primed, rank)
+
+        def simulate():
+            return _partitioned_scale_run("bt", nprocs, engine, engine_jobs)
+
+        result = benchmark.pedantic(simulate, rounds=1, iterations=1)
+        assert result.events_processed > 0
+        if engine == "parallel":
+            info = result.parallel_info
+            assert info is not None and "fallback" not in info, info
+            assert info["partitions"] == engine_jobs
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "workload": "bt",
+                "nprocs": nprocs,
+                "engine": engine,
+                "engine_jobs": engine_jobs if engine == "parallel" else 1,
                 "iterations": _SCALE_ITERATIONS[nprocs],
                 "events": result.events_processed,
                 "wall_s": round(mean, 4),

@@ -35,6 +35,7 @@ from repro.util.validation import check_non_negative, check_positive
 __all__ = [
     "BufferMemoryProjection",
     "lockstep_scale_configs",
+    "partitioned_scale_configs",
     "project_buffer_memory",
     "project_unexpected_exposure",
     "render_projection_table",
@@ -66,6 +67,30 @@ def lockstep_scale_configs() -> tuple[MachineConfig, NetworkConfig]:
     )
     network = NetworkConfig(
         latency=0.0, bandwidth=float("inf"), jitter_sigma=0.0, contention=False
+    )
+    return machine, network
+
+
+def partitioned_scale_configs() -> tuple[MachineConfig, NetworkConfig]:
+    """Machine/network pair for the *parallel*-engine scaling benchmarks.
+
+    Identical to :func:`lockstep_scale_configs` except for one thing: the
+    network carries a small positive latency (2 µs, still effectively
+    instantaneous next to the workloads' compute phases).  The conservative
+    parallel engine derives its lookahead from the minimum link latency, so
+    the lockstep pair's zero-latency ideal network gives it nothing to
+    partition with — while a noiseless positive-latency network keeps the
+    ranks in near-lockstep (wide cohorts for the per-partition vectorised
+    drains) *and* opens a usable conservative window.
+    """
+    machine = MachineConfig(
+        recv_overhead=0.0,
+        eager_threshold=1 << 20,
+        eager_buffer_bytes=1 << 22,
+        preallocate_all_peers=False,
+    )
+    network = NetworkConfig(
+        latency=2e-6, bandwidth=float("inf"), jitter_sigma=0.0, contention=False
     )
     return machine, network
 

@@ -143,10 +143,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument(
         "--engine",
-        choices=["auto", "scalar", "vectorised"],
+        choices=["auto", "scalar", "vectorised", "parallel"],
         default=None,
         help="override the simulation engine for every cell (results are "
-        "engine-independent — this only changes how they are computed)",
+        "engine-independent — this only changes how they are computed); "
+        "'parallel' partitions each cell's ranks over --engine-jobs worker "
+        "processes, falling back in-process where ineligible",
+    )
+    sweep_cmd.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per cell for --engine parallel (default: 2); "
+        "the cell pool is capped so --jobs x --engine-jobs stays within "
+        "the machine's CPUs",
     )
     sweep_cmd.add_argument(
         "--accuracy-table",
@@ -298,6 +309,7 @@ def _cmd_sweep(args) -> int:
             out=args.out,
             resume=args.resume,
             engine=args.engine,
+            engine_jobs=args.engine_jobs,
         )
     except SweepAborted as aborted:
         print(str(aborted), file=sys.stderr)
@@ -494,6 +506,39 @@ def _cmd_bench(args) -> int:
 def _registry_listing() -> dict:
     """Machine-readable view of every scenario-addressable component."""
     return {
+        "engines": [
+            {
+                "name": "auto",
+                "description": "scalar drain below 16 compiled ranks, "
+                "vectorised cohort drain at or above (the default)",
+                "engages_when": "always",
+            },
+            {
+                "name": "scalar",
+                "description": "record-by-record event drain",
+                "engages_when": "always",
+            },
+            {
+                "name": "vectorised",
+                "description": "timestamp-cohort batch drain over compiled "
+                "op lanes",
+                "engages_when": "at least one rank program compiles; "
+                "generator ranks still step record-by-record",
+            },
+            {
+                "name": "parallel",
+                "description": "rank partitions over engine_jobs worker "
+                "processes, synchronised in conservative windows of the "
+                "minimum network latency; bit-identical to the in-process "
+                "engines",
+                "engages_when": "engine_jobs >= 2, all rank programs "
+                "compile, the network has a positive minimum latency and "
+                "no jitter/contention/drop state, and the flow-control "
+                "policy decides eager sends without receiver state "
+                "(standard, always-rendezvous); anything else falls back "
+                "in-process and records the reason in parallel_info",
+            },
+        ],
         "workloads": workload_names(),
         "paper_configurations": [
             {
@@ -526,6 +571,10 @@ def _cmd_list(args) -> int:
         for config in listing["paper_configurations"]
     ]
     print(ascii_table(["label", "workload", "nprocs", "default scale"], rows))
+    print("\nengines:")
+    for entry in listing["engines"]:
+        print(f"  {entry['name']}: {entry['description']}")
+        print(f"    engages when: {entry['engages_when']}")
     for title, key in (
         ("flow-control policies", "policies"),
         ("predictors", "predictors"),

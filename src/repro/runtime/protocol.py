@@ -29,6 +29,16 @@ class FlowControlPolicy:
     #: Human-readable policy name used in stats and benchmark output.
     name: str = "abstract"
 
+    #: Whether the policy's decisions depend only on the *sender-local* view.
+    #: The parallel engine evaluates :meth:`allows_eager` on the sending
+    #: partition; a policy whose answer consults receiver-side state it
+    #: learns from deliveries (the predictive policies) would read a stale
+    #: replica there, so such policies must keep the default ``False`` and
+    #: the parallel engine falls back to the in-process drain for them.
+    #: Policies whose answer is a pure function of the call arguments (plus
+    #: immutable machine config) may set ``True``.
+    partition_safe: bool = False
+
     def bind(self, machine: MachineConfig, nprocs: int) -> None:
         """Called once by the transport before the simulation starts."""
         self.machine = machine
@@ -89,6 +99,7 @@ class StandardFlowControl(FlowControlPolicy):
     """
 
     name = "standard"
+    partition_safe = True
 
     def allows_eager(self, src: int, dst: int, nbytes: int, kind: str, now: float) -> bool:
         return nbytes <= self.machine.eager_threshold
@@ -102,6 +113,7 @@ class AlwaysRendezvousFlowControl(FlowControlPolicy):
     """
 
     name = "always-rendezvous"
+    partition_safe = True
 
     def allows_eager(self, src: int, dst: int, nbytes: int, kind: str, now: float) -> bool:
         return False

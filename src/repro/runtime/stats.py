@@ -28,6 +28,24 @@ class LatencyAccumulator:
         return self.total / self.count if self.count else 0.0
 
 
+def _reduce_by_rank(by_rank: dict[int, LatencyAccumulator]) -> LatencyAccumulator:
+    """Fold per-rank accumulators in rank order into one accumulator.
+
+    The float totals add in ascending rank order, so the reduction is
+    bit-identical whether the per-rank accumulators were filled by one
+    process or merged from per-partition runs (each rank's samples accumulate
+    in that rank's own delivery order either way).
+    """
+    merged = LatencyAccumulator()
+    for rank in sorted(by_rank):
+        acc = by_rank[rank]
+        merged.count += acc.count
+        merged.total += acc.total
+        if acc.maximum > merged.maximum:
+            merged.maximum = acc.maximum
+    return merged
+
+
 @dataclass
 class RuntimeStats:
     """Protocol and memory counters for a whole run.
@@ -35,6 +53,12 @@ class RuntimeStats:
     The transport updates these as it executes sends and receives; the
     analysis layer and the extension benchmarks read them to report protocol
     mix, unexpected-message pressure and end-to-end latency per protocol.
+
+    Latencies are accumulated **per receiving rank** (each rank's samples in
+    its own delivery order) and reduced in rank order on read — see
+    :func:`_reduce_by_rank`.  This keeps the reported floats bit-identical
+    between a single-process run and a parallel run merged from per-partition
+    stats, where a single global accumulator would regroup the float sum.
     """
 
     nprocs: int = 0
@@ -53,8 +77,34 @@ class RuntimeStats:
     unexpected_deliveries: int = 0
     unexpected_heap_stores: int = 0
     control_messages: int = 0
-    eager_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
-    rendezvous_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    eager_latency_by_rank: dict[int, LatencyAccumulator] = field(default_factory=dict)
+    rendezvous_latency_by_rank: dict[int, LatencyAccumulator] = field(
+        default_factory=dict
+    )
+
+    # -- whole-run latency views (reduced in rank order) -----------------
+    @property
+    def eager_latency(self) -> LatencyAccumulator:
+        """Whole-run eager-path latency accumulator (rank-order reduction)."""
+        return _reduce_by_rank(self.eager_latency_by_rank)
+
+    @property
+    def rendezvous_latency(self) -> LatencyAccumulator:
+        """Whole-run rendezvous-path latency accumulator (rank-order reduction)."""
+        return _reduce_by_rank(self.rendezvous_latency_by_rank)
+
+    def latency_accumulator(self, protocol: str, rank: int) -> LatencyAccumulator:
+        """The accumulator for ``rank``'s deliveries on ``protocol`` (created
+        on first use) — the transport's hot path caches these per cohort."""
+        by_rank = (
+            self.eager_latency_by_rank
+            if protocol == "eager"
+            else self.rendezvous_latency_by_rank
+        )
+        acc = by_rank.get(rank)
+        if acc is None:
+            acc = by_rank[rank] = LatencyAccumulator()
+        return acc
 
     # ------------------------------------------------------------------
     def record_send(self, nbytes: int, kind: str, protocol: str, forced: bool, bypass: bool) -> None:
@@ -83,20 +133,43 @@ class RuntimeStats:
             if storage == "heap":
                 self.unexpected_heap_stores += 1
 
-    def record_latency(self, protocol: str, seconds: float) -> None:
-        """Record one end-to-end message latency (send post to recv complete)."""
-        if protocol == "eager":
-            self.eager_latency.add(seconds)
-        else:
-            self.rendezvous_latency.add(seconds)
+    def record_latency(self, protocol: str, rank: int, seconds: float) -> None:
+        """Record one end-to-end message latency (send post to recv complete)
+        observed by receiving ``rank``."""
+        self.latency_accumulator(protocol, rank).add(seconds)
 
     def record_control_message(self) -> None:
         """Record one rendezvous RTS/CTS control message."""
         self.control_messages += 1
 
+    # -- parallel-engine merge support ----------------------------------
+    def merge_from(self, other: "RuntimeStats") -> None:
+        """Fold another partition's stats into this one.
+
+        Integer counters sum exactly; the per-rank latency dicts are disjoint
+        across partitions (each receiving rank lives in exactly one), so
+        merging them preserves the rank-order reduction bit for bit.
+        """
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.p2p_messages += other.p2p_messages
+        self.collective_messages += other.collective_messages
+        self.eager_messages += other.eager_messages
+        self.rendezvous_messages += other.rendezvous_messages
+        self.forced_rendezvous += other.forced_rendezvous
+        self.eager_bypass_large += other.eager_bypass_large
+        self.expected_deliveries += other.expected_deliveries
+        self.unexpected_deliveries += other.unexpected_deliveries
+        self.unexpected_heap_stores += other.unexpected_heap_stores
+        self.control_messages += other.control_messages
+        self.eager_latency_by_rank.update(other.eager_latency_by_rank)
+        self.rendezvous_latency_by_rank.update(other.rendezvous_latency_by_rank)
+
     # ------------------------------------------------------------------
     def summary(self) -> dict:
         """Return a plain-dict summary suitable for printing or JSON."""
+        eager = self.eager_latency
+        rendezvous = self.rendezvous_latency
         return {
             "nprocs": self.nprocs,
             "messages_sent": self.messages_sent,
@@ -111,8 +184,8 @@ class RuntimeStats:
             "unexpected_deliveries": self.unexpected_deliveries,
             "unexpected_heap_stores": self.unexpected_heap_stores,
             "control_messages": self.control_messages,
-            "mean_eager_latency": self.eager_latency.mean,
-            "mean_rendezvous_latency": self.rendezvous_latency.mean,
-            "max_eager_latency": self.eager_latency.maximum,
-            "max_rendezvous_latency": self.rendezvous_latency.maximum,
+            "mean_eager_latency": eager.mean,
+            "mean_rendezvous_latency": rendezvous.mean,
+            "max_eager_latency": eager.maximum,
+            "max_rendezvous_latency": rendezvous.maximum,
         }

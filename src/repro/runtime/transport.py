@@ -88,11 +88,20 @@ _NAN = float("nan")
 
 @dataclass
 class _Rendezvous:
-    """In-flight rendezvous handshake state."""
+    """In-flight rendezvous handshake state.
+
+    ``handshake_id`` is set only for cross-partition handshakes under the
+    parallel engine: the sender-side transport keys its in-flight table with
+    it, the receiver-side transport parks the matched receive under it, and
+    the RTS/CTS/DATA records exchanged at window barriers carry it.  ``None``
+    means the whole handshake is partition-local (or the run is not
+    partitioned at all) and proceeds through direct event scheduling.
+    """
 
     message: Message
-    send_request: Request
+    send_request: Optional[Request]
     posted: Optional[PostedReceive] = None
+    handshake_id: object = None
 
 
 class _Endpoint:
@@ -192,6 +201,19 @@ class Transport:
         self._schedule_delivery = None
         self._schedule_delivery_batch = None
         self._channel_last_arrival: dict[tuple[int, int], float] = {}
+        # Parallel-engine partition mode (see enable_partition_mode): when
+        # set, sends whose destination rank lives in another partition are
+        # buffered as serialised records instead of scheduled locally.  None
+        # keeps every path branch-cheap for the ordinary single-process case.
+        self._partition_local: frozenset[int] | None = None
+        self._outbox: list[tuple] = []
+        self._outbox_seq = 0
+        self._next_handshake = 0
+        #: Sender-side in-flight cross-partition rendezvous states.
+        self._pending_rendezvous: dict[tuple, _Rendezvous] = {}
+        #: Receiver-side matched-but-awaiting-payload receives, parked while
+        #: the CTS/DATA legs of a cross-partition handshake are in transit.
+        self._parked_posted: dict[tuple, PostedReceive] = {}
         self._endpoints: list[_Endpoint] = []
         for rank in range(nprocs):
             peers = self.policy.preallocate_peers(rank)
@@ -222,6 +244,12 @@ class Transport:
 
     def _schedule_data(self, time: float, message: Message, posted: Optional[PostedReceive]) -> None:
         """Schedule the physical arrival of ``message`` at ``time``."""
+        local = self._partition_local
+        if local is not None and message.dst not in local:
+            # Ghost duplicates and eager fallback arrivals aimed at a remote
+            # partition become exchange records instead of local events.
+            self._outbox_data(time, message)
+            return
         if self._schedule_delivery is not None:
             self._schedule_delivery(time, message, posted)
         else:
@@ -299,14 +327,18 @@ class Transport:
 
         inject = now + self._send_overhead
         message.inject_time = inject
+        local = self._partition_local
         if use_eager:
             arrival = self._data_arrival(message, inject)
             message.arrival_time = arrival
-            schedule_delivery = self._schedule_delivery
-            if schedule_delivery is not None:
-                schedule_delivery(arrival, message, None)
+            if local is not None and dst not in local:
+                self._outbox_data(arrival, message)
             else:
-                self._schedule_data(arrival, message, None)
+                schedule_delivery = self._schedule_delivery
+                if schedule_delivery is not None:
+                    schedule_delivery(arrival, message, None)
+                else:
+                    self._schedule_data(arrival, message, None)
             request._complete(inject)
         else:
             state = _Rendezvous(message=message, send_request=request)
@@ -314,7 +346,19 @@ class Transport:
             rts_arrival = self.network.arrival_time(
                 rank, dst, self._control_bytes, inject
             )
-            self._schedule(rts_arrival, lambda: self._handle_rts(state, rts_arrival))
+            if local is not None and dst not in local:
+                handshake_id = (rank, self._next_handshake)
+                self._next_handshake += 1
+                state.handshake_id = handshake_id
+                self._pending_rendezvous[handshake_id] = state
+                self._outbox_put(
+                    dst,
+                    rts_arrival,
+                    ("rts", rank, dst, message.tag, nbytes, kind, inject,
+                     handshake_id),
+                )
+            else:
+                self._schedule(rts_arrival, lambda: self._handle_rts(state, rts_arrival))
         return request
 
     def post_send_burst(
@@ -346,6 +390,7 @@ class Transport:
         """
         n = len(ranks)
         network = self.network
+        local = self._partition_local
         if self._faults is not None or not network.deterministic:
             post = self.post_send_values
             return [
@@ -472,7 +517,12 @@ class Transport:
                     arrival = last + _FIFO_EPSILON
                 channel_last[key] = arrival
                 message.arrival_time = arrival
-                if schedule_batch is not None:
+                if local is not None and message.dst not in local:
+                    # Partition mode: a cross-partition payload consumes no
+                    # local event (exactly like the scalar path), so it
+                    # neither joins nor flushes the pending delivery run.
+                    self._outbox_data(arrival, message)
+                elif schedule_batch is not None:
                     if not pending:
                         pending_arrival = arrival
                         pending_same = True
@@ -493,10 +543,23 @@ class Transport:
                 rts_arrival = self.network.arrival_time(
                     message.src, message.dst, self._control_bytes, message.inject_time
                 )
-                self._schedule(
-                    rts_arrival,
-                    lambda state=state, t=rts_arrival: self._handle_rts(state, t),
-                )
+                if local is not None and message.dst not in local:
+                    handshake_id = (message.src, self._next_handshake)
+                    self._next_handshake += 1
+                    state.handshake_id = handshake_id
+                    self._pending_rendezvous[handshake_id] = state
+                    self._outbox_put(
+                        message.dst,
+                        rts_arrival,
+                        ("rts", message.src, message.dst, message.tag,
+                         message.nbytes, message.kind, message.inject_time,
+                         handshake_id),
+                    )
+                else:
+                    self._schedule(
+                        rts_arrival,
+                        lambda state=state, t=rts_arrival: self._handle_rts(state, t),
+                    )
         if pending:
             self._flush_pending_deliveries(pending, pending_arrival, pending_same)
         return requests
@@ -549,6 +612,7 @@ class Transport:
         channel_last = self._channel_last_arrival
         latency = network._latency
         bandwidth = network._bandwidth
+        local = self._partition_local
         requests: list[Request] = []
         append = requests.append
         eager_count = 0
@@ -593,7 +657,9 @@ class Transport:
                     arrival = last + _FIFO_EPSILON
                 channel_last[key] = arrival
                 message.arrival_time = arrival
-                if schedule_delivery is not None:
+                if local is not None and dst not in local:
+                    self._outbox_data(arrival, message)
+                elif schedule_delivery is not None:
                     schedule_delivery(arrival, message, None)
                 else:
                     self._schedule_data(arrival, message, None)
@@ -604,10 +670,22 @@ class Transport:
                 rts_arrival = network.arrival_time(
                     rank, dst, self._control_bytes, inject
                 )
-                self._schedule(
-                    rts_arrival,
-                    lambda state=state, t=rts_arrival: self._handle_rts(state, t),
-                )
+                if local is not None and dst not in local:
+                    handshake_id = (rank, self._next_handshake)
+                    self._next_handshake += 1
+                    state.handshake_id = handshake_id
+                    self._pending_rendezvous[handshake_id] = state
+                    self._outbox_put(
+                        dst,
+                        rts_arrival,
+                        ("rts", rank, dst, tags[i], nbytes, kind, inject,
+                         handshake_id),
+                    )
+                else:
+                    self._schedule(
+                        rts_arrival,
+                        lambda state=state, t=rts_arrival: self._handle_rts(state, t),
+                    )
             append(request)
         network.messages_timed += eager_count
         network.total_bytes += eager_bytes
@@ -722,7 +800,7 @@ class Transport:
         arrival = self.network.arrival_time(src, dst, message.nbytes, inject)
         faults = self._faults
         if faults is not None:
-            delay, duplicate = faults.data_fault()
+            delay, duplicate = faults.data_fault(src)
             if delay > 0.0:
                 if duplicate:
                     ghost = Message(
@@ -761,6 +839,13 @@ class Transport:
         cts_arrival = self.network.arrival_time(
             message.dst, message.src, self._control_bytes, time
         )
+        if state.handshake_id is not None:
+            # Cross-partition handshake: the sender lives in another worker.
+            # Park the matched receive under the handshake id and ship the
+            # CTS back through the barrier exchange.
+            self._parked_posted[state.handshake_id] = posted
+            self._outbox_put(message.src, cts_arrival, ("cts", state.handshake_id))
+            return
         self._schedule(cts_arrival, lambda: self._handle_cts(state, cts_arrival))
 
     def _handle_cts(self, state: _Rendezvous, arrival: float) -> None:
@@ -772,6 +857,117 @@ class Transport:
         send_done = data_inject + self.network.serialization_time(message.nbytes)
         state.send_request._complete(send_done)
         self._schedule_data(data_arrival, message, state.posted)
+
+    # ------------------------------------------------------------------
+    # Partition mode (parallel engine)
+    # ------------------------------------------------------------------
+    # In partition mode every worker process simulates a contiguous block of
+    # ranks; a send whose destination lives in another partition becomes a
+    # serialisable *exchange record* in the outbox instead of a local event.
+    # The coordinator drains the outboxes at each conservative barrier and
+    # injects the records into the destination partitions, where
+    # :meth:`inject_remote` replays them as if they had been scheduled
+    # locally.  Three record payloads exist:
+    #
+    # ``("data", ...)``   — a payload arrival (eager send, rendezvous payload
+    #                       after a completed handshake, or a duplicate ghost).
+    # ``("rts", ...)``    — a rendezvous request-to-send; the receiver builds a
+    #                       sender-less :class:`_Rendezvous` replica keyed by
+    #                       ``handshake_id``.
+    # ``("cts", id)``     — the matching clear-to-send travelling back to the
+    #                       sender's partition.
+    #
+    # ``handshake_id`` is ``(src_rank, counter)`` with a per-transport counter:
+    # globally unique because every source rank lives in exactly one partition.
+
+    def enable_partition_mode(self, local_ranks) -> None:
+        """Route sends to ranks outside ``local_ranks`` through the outbox."""
+        self._partition_local = frozenset(local_ranks)
+
+    def take_outbox(self) -> list[tuple]:
+        """Drain buffered cross-partition records (called at each barrier).
+
+        Each record is ``(target_rank, time, seq, payload)`` where ``seq`` is
+        a transport-wide emission counter so the coordinator can order
+        same-time records from one partition deterministically.
+        """
+        outbox = self._outbox
+        self._outbox = []
+        return outbox
+
+    def _outbox_put(self, target: int, time: float, payload: tuple) -> None:
+        seq = self._outbox_seq
+        self._outbox_seq = seq + 1
+        self._outbox.append((target, time, seq, payload))
+
+    def _outbox_data(self, time: float, message: Message, handshake_id=None) -> None:
+        self._outbox_put(
+            message.dst,
+            time,
+            (
+                "data",
+                message.src,
+                message.dst,
+                message.tag,
+                message.nbytes,
+                message.kind,
+                message.protocol,
+                message.inject_time,
+                message.arrival_time,
+                message.duplicate,
+                handshake_id,
+            ),
+        )
+
+    def _handle_remote_cts(self, handshake_id, arrival: float) -> None:
+        """A barrier-injected CTS reached the sending partition: push data."""
+        state = self._pending_rendezvous.pop(handshake_id)
+        message = state.message
+        data_inject = arrival + self._handshake_cpu
+        data_arrival = self._data_arrival(message, data_inject)
+        message.arrival_time = data_arrival
+        send_done = data_inject + self.network.serialization_time(message.nbytes)
+        state.send_request._complete(send_done)
+        self._outbox_data(data_arrival, message, handshake_id)
+
+    def inject_remote(self, time: float, payload: tuple) -> None:
+        """Replay one exchange record shipped in from another partition.
+
+        The engine must push the resulting events *before* the next window
+        starts; conservative lookahead guarantees ``time`` lies at or beyond
+        the window boundary, so injection order relative to local events is
+        exactly heap order.
+        """
+        kind = payload[0]
+        if kind == "data":
+            (_, src, dst, tag, nbytes, mkind, protocol, inject_time,
+             arrival_time, duplicate, handshake_id) = payload
+            message = Message(src, dst, tag, nbytes, mkind, protocol)
+            message.inject_time = inject_time
+            message.arrival_time = arrival_time
+            message.duplicate = duplicate
+            posted = (
+                self._parked_posted.pop(handshake_id)
+                if handshake_id is not None
+                else None
+            )
+            if self._schedule_delivery is not None:
+                self._schedule_delivery(time, message, posted)
+            else:
+                self._schedule(time, lambda: self.deliver_burst([(message, posted)], time))
+        elif kind == "rts":
+            _, src, dst, tag, nbytes, mkind, inject_time, handshake_id = payload
+            message = Message(src, dst, tag, nbytes, mkind, "rendezvous")
+            message.inject_time = inject_time
+            state = _Rendezvous(
+                message=message, send_request=None, handshake_id=handshake_id
+            )
+            self._schedule(time, lambda: self._handle_rts(state, time))
+        elif kind == "cts":
+            handshake_id = payload[1]
+            self._schedule(time, lambda: self._handle_remote_cts(handshake_id, time))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown exchange record kind: {kind!r}")
 
     def _deliver_data(
         self, message: Message, arrival: float, posted: Optional[PostedReceive]
@@ -864,20 +1060,22 @@ class Transport:
         endpoints = self._endpoints
         stats = self.stats
         record_delivery = stats.record_delivery
-        eager_acc = stats.eager_latency
-        rendezvous_acc = stats.rendezvous_latency
+        latency_accumulator = stats.latency_accumulator
         recv_overhead = self._recv_overhead
         expected_count = 0
         endpoint = None
+        eager_acc = rendezvous_acc = None
         dst = -1
         for message, posted in items:
             if message.duplicate:
                 continue
+            d = message.dst
+            if d != dst:
+                dst = d
+                endpoint = endpoints[d]
+                eager_acc = latency_accumulator("eager", d)
+                rendezvous_acc = latency_accumulator("rendezvous", d)
             if posted is None:
-                d = message.dst
-                if d != dst:
-                    dst = d
-                    endpoint = endpoints[d]
                 posted = endpoint.posted.match(message)
                 if posted is None:
                     storage = endpoint.buffers.store_unexpected(
@@ -953,7 +1151,9 @@ class Transport:
                 message.kind,
                 complete_time,
             )
-        self.stats.record_latency(message.protocol, complete_time - message.inject_time)
+        self.stats.record_latency(
+            message.protocol, rank, complete_time - message.inject_time
+        )
         posted.request._complete(complete_time, status)
 
     # ------------------------------------------------------------------

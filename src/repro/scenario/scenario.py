@@ -121,6 +121,7 @@ class Scenario:
             max_wall_seconds=spec.max_wall_seconds,
             faults=spec.faults.build(spec.seed),
             engine=spec.engine,
+            engine_jobs=spec.engine_jobs,
         )
         factory = workload.program_for if spec.compiled else workload.program
         result = simulator.run([factory])

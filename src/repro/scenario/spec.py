@@ -565,15 +565,18 @@ class ScenarioSpec:
     max_wall_seconds: float | None = None
     compiled: bool = True
     #: Engine drain selection forwarded to :class:`repro.sim.engine.Simulator`
-    #: (``"auto"``/``"scalar"``/``"vectorised"``).  Deliberately **excluded**
-    #: from :meth:`to_dict` and :meth:`content_hash`: both drains produce
-    #: bit-identical results, so the knob is an execution detail — specs that
-    #: differ only in it share sweep cache cells and summary output.
+    #: (``"auto"``/``"scalar"``/``"vectorised"``/``"parallel"``).  Deliberately
+    #: **excluded** from :meth:`to_dict` and :meth:`content_hash`: all drains
+    #: produce bit-identical results, so the knob is an execution detail —
+    #: specs that differ only in it share sweep cache cells and summary output.
     engine: str = "auto"
+    #: Worker-process count for ``engine="parallel"`` (ignored otherwise).
+    #: Excluded from identity for the same reason as ``engine``.
+    engine_jobs: int = 2
 
     _FIELDS = ("workload", "seed", "machine", "network", "faults", "policy",
                "predictor", "trace", "name", "max_events", "max_wall_seconds",
-               "compiled", "engine")
+               "compiled", "engine", "engine_jobs")
 
     def __post_init__(self) -> None:
         coerce = object.__setattr__
@@ -589,9 +592,15 @@ class ScenarioSpec:
             raise ValueError(
                 f"max_wall_seconds must be positive, got {self.max_wall_seconds}"
             )
-        if self.engine not in ("auto", "scalar", "vectorised"):
+        if self.engine not in ("auto", "scalar", "vectorised", "parallel"):
             raise ValueError(
-                f"engine must be 'auto', 'scalar' or 'vectorised', got {self.engine!r}"
+                "engine must be 'auto', 'scalar', 'vectorised' or 'parallel', "
+                f"got {self.engine!r}"
+            )
+        coerce(self, "engine_jobs", int(self.engine_jobs))
+        if self.engine_jobs <= 0:
+            raise ValueError(
+                f"engine_jobs must be positive, got {self.engine_jobs}"
             )
 
     # -- identity ----------------------------------------------------------
@@ -601,15 +610,22 @@ class ScenarioSpec:
         return self.name if self.name else self.workload.label
 
     def cost_hint(self) -> float:
-        """Relative expected simulation cost (drives longest-first sharding).
+        """Relative expected simulation *wall-clock* cost (drives longest-first
+        sharding).
 
         LU's per-scale message volume is ~10x the other applications', the
         same weighting :mod:`repro.analysis.experiments` has always used to
-        pack the process pool.
+        pack the process pool.  A ``parallel``-engine cell spreads its events
+        over ``engine_jobs`` workers, so its wall-clock share shrinks
+        accordingly — the sweep scheduler should not treat it as the longest
+        job just because its rank count is large.
         """
         scale = self.workload.scale if self.workload.scale is not None else 1.0
         weight = 10.0 if self.workload.name == "lu" else 1.0
-        return self.workload.nprocs * scale * weight
+        cost = self.workload.nprocs * scale * weight
+        if self.engine == "parallel" and self.engine_jobs > 1:
+            cost /= self.engine_jobs
+        return cost
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy with the given fields replaced (sub-specs re-coerce)."""
@@ -657,8 +673,9 @@ class ScenarioSpec:
             "max_events": self.max_events,
             "max_wall_seconds": self.max_wall_seconds,
             "compiled": self.compiled,
-            # "engine" is intentionally absent: it cannot change results, so
-            # it must not change content_hash() or on-disk summaries.
+            # "engine"/"engine_jobs" are intentionally absent: they cannot
+            # change results, so they must not change content_hash() or
+            # on-disk summaries.
         }
 
     def content_hash(self) -> str:

@@ -60,6 +60,7 @@ import json
 import os
 import time
 import tomllib
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -256,6 +257,7 @@ class _Manifest:
 #: Scalar ScenarioSpec fields: a grid path may target them but not descend.
 _SCALAR_FIELDS = (
     "seed", "name", "max_events", "max_wall_seconds", "compiled", "engine",
+    "engine_jobs",
 )
 
 #: Config-backed nodes: structural spec keys plus the backing dataclass whose
@@ -499,6 +501,7 @@ class Sweep:
         out: str | Path | None = None,
         resume: bool = False,
         engine: str | None = None,
+        engine_jobs: int | None = None,
     ) -> list[ScenarioResult | CachedCell | CellFailure]:
         """Run every cell and return outcomes in :meth:`expand` order.
 
@@ -527,11 +530,15 @@ class Sweep:
         pool down (no leaked workers), and raises :class:`SweepAborted` on
         the first failure instead of recording it.
 
-        ``engine`` (``"auto"``/``"scalar"``/``"vectorised"``) overrides the
-        run-loop drain of *every* cell — the A/B switch for the vectorised
-        engine.  It cannot change results (outputs are bit-identical across
-        drains, and the spec content hash excludes it), so checkpoints and
-        summaries are engine-agnostic.
+        ``engine`` (``"auto"``/``"scalar"``/``"vectorised"``/``"parallel"``)
+        overrides the run-loop drain of *every* cell — the A/B switch for
+        the vectorised and parallel engines — and ``engine_jobs`` overrides
+        the parallel engine's per-cell worker count.  Neither can change
+        results (outputs are bit-identical across drains, and the spec
+        content hash excludes both), so checkpoints and summaries are
+        engine-agnostic.  When parallel cells meet a sharded pool, the pool
+        width is capped so ``jobs x engine_jobs`` does not oversubscribe the
+        machine's CPUs (a ``RuntimeWarning`` reports the applied cap).
         """
         if resume and out is None:
             raise ValueError("run_all(resume=True) needs an output directory (out=)")
@@ -540,8 +547,26 @@ class Sweep:
         specs = self.expand()
         if engine is not None:
             specs = [spec.with_overrides(engine=engine) for spec in specs]
+        if engine_jobs is not None:
+            specs = [spec.with_overrides(engine_jobs=engine_jobs) for spec in specs]
         if not specs:
             return []
+        if jobs is not None and jobs > 1:
+            widest = max(
+                (s.engine_jobs for s in specs if s.engine == "parallel"),
+                default=1,
+            )
+            cpus = os.cpu_count() or 1
+            if widest > 1 and jobs * widest > cpus:
+                capped = max(1, cpus // widest)
+                warnings.warn(
+                    f"sweep jobs={jobs} x engine_jobs={widest} would "
+                    f"oversubscribe {cpus} CPUs; capping the cell pool to "
+                    f"{capped} worker(s)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                jobs = capped
         manifest = _Manifest(out) if out is not None else None
         results: list[ScenarioResult | CachedCell | CellFailure | None]
         results = [None] * len(specs)

@@ -199,6 +199,12 @@ class SimulationResult:
     #: Fault-injection accounting (:meth:`FaultInjector.counters`), or None
     #: when the run had no active fault models.
     fault_stats: dict | None = None
+    #: Parallel-engine diagnostics: ``{"partitions": k, "windows": n,
+    #: "lookahead": s}`` when the run was partitioned across worker
+    #: processes, ``{"fallback": reason}`` when ``engine="parallel"`` was
+    #: requested but the configuration was ineligible (the run then executed
+    #: in-process, bit-identically), and None for non-parallel engines.
+    parallel_info: dict | None = None
 
     def trace_for(self, rank: int):
         """Convenience accessor for one rank's :class:`ProcessTrace`."""
@@ -263,6 +269,24 @@ class Simulator:
         **bit-identical** simulations — traces, stats, event counts and fault
         counters; the knob only trades constant factors.
 
+        ``"parallel"`` partitions the ranks across ``engine_jobs`` worker
+        processes synchronised in conservative windows of width
+        ``network.min_latency()`` (see :mod:`repro.sim.partition`).  Outputs
+        are bit-identical to the in-process drains.  Configurations the
+        conservative protocol cannot partition safely — zero minimum
+        latency, jittered/contended/dropping network models, flow-control
+        policies whose eager decisions read receiver state, generator
+        ranks — transparently fall back to the in-process ``"auto"``
+        selection, recording the reason in
+        :attr:`SimulationResult.parallel_info`.
+    engine_jobs:
+        Number of worker processes for ``engine="parallel"`` (ignored by the
+        other engines).  Values below 2 fall back to in-process execution.
+    partitioner:
+        Optional callable ``(nprocs, jobs) -> list[list[int]]`` assigning
+        ranks to partitions for ``engine="parallel"``; defaults to
+        contiguous balanced blocks (:func:`repro.sim.partition.contiguous_blocks`).
+
     A ``Simulator`` instance is **single-use**: :meth:`run` consumes the
     event queue, transport matching state and jitter RNG streams, so a second
     call raises :class:`SimulationError` instead of silently reusing stale
@@ -282,14 +306,23 @@ class Simulator:
         max_wall_seconds: float | None = None,
         faults: FaultConfig | FaultInjector | None = None,
         engine: str = "auto",
+        engine_jobs: int = 2,
+        partitioner=None,
     ) -> None:
         if nprocs <= 0:
             raise ValueError(f"nprocs must be positive, got {nprocs}")
-        if engine not in ("auto", "scalar", "vectorised"):
+        if engine not in ("auto", "scalar", "vectorised", "parallel"):
             raise ValueError(
-                f"engine must be 'auto', 'scalar' or 'vectorised', got {engine!r}"
+                "engine must be 'auto', 'scalar', 'vectorised' or 'parallel', "
+                f"got {engine!r}"
             )
+        if engine_jobs <= 0:
+            raise ValueError(f"engine_jobs must be positive, got {engine_jobs}")
         self.engine = engine
+        self.engine_jobs = engine_jobs
+        self.partitioner = partitioner
+        #: See :attr:`SimulationResult.parallel_info`.
+        self.parallel_info: dict | None = None
         self.nprocs = nprocs
         self.machine = machine or MachineConfig()
         if network is None:
@@ -450,6 +483,16 @@ class Simulator:
                 )
             self._ranks.append(state)
 
+        if self.engine == "parallel":
+            reason = self._parallel_fallback_reason()
+            if reason is None:
+                from repro.sim.partition import run_partitioned
+
+                return run_partitioned(self)
+            # Ineligible configuration: run in-process (bit-identical by
+            # construction) and record why the partitioned path disengaged.
+            self.parallel_info = {"fallback": reason}
+
         self._done_count = 0
         for state in self._ranks:
             self.schedule_step(0.0, state, None)
@@ -457,7 +500,10 @@ class Simulator:
         compiled_count = sum(1 for s in self._ranks if s.compiled is not None)
         use_vectorised = compiled_count > 0 and (
             self.engine == "vectorised"
-            or (self.engine == "auto" and compiled_count >= _VECTOR_MIN_RANKS)
+            or (
+                self.engine in ("auto", "parallel")
+                and compiled_count >= _VECTOR_MIN_RANKS
+            )
         )
         if use_vectorised:
             self._build_lane_arena()
@@ -492,7 +538,41 @@ class Simulator:
             tracer=self.tracer,
             buffer_stats=self.transport.buffer_stats(),
             fault_stats=self.faults.counters() if self.faults is not None else None,
+            parallel_info=self.parallel_info,
         )
+
+    def _parallel_fallback_reason(self) -> str | None:
+        """Why ``engine="parallel"`` cannot partition this run (None = it can).
+
+        The conservative protocol requires a positive lookahead (the minimum
+        network latency), a partition-safe network (no jitter, contention or
+        probabilistic drops — their shared RNG/state draws are ordered by the
+        global event sequence, which no partition sees), a partition-safe
+        flow-control policy (eager decisions must not read receiver-side
+        state across the partition boundary), compiled rank programs (the
+        windowed drain is the vectorised loop) and a ``fork`` start method
+        (workers inherit the fully-built simulator by address).
+        """
+        if self.engine_jobs < 2:
+            return "engine_jobs < 2"
+        if self.nprocs < self.engine_jobs:
+            return f"fewer ranks ({self.nprocs}) than partitions ({self.engine_jobs})"
+        if any(s.compiled is None for s in self._ranks):
+            return "generator rank programs (windowed drain needs compiled lanes)"
+        if self.network.min_latency() <= 0.0:
+            return "zero minimum network latency (no conservative lookahead)"
+        if not self.network.partition_safe:
+            return "network model draws shared jitter/contention/drop state"
+        if not getattr(self.transport.policy, "partition_safe", False):
+            return (
+                f"flow-control policy {type(self.transport.policy).__name__} "
+                "reads receiver state on the send path"
+            )
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return "fork start method unavailable on this platform"
+        return None
 
     def _run_loop(self) -> None:
         """Drain the event queue in ``(time, seq)`` order until empty.
@@ -612,7 +692,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Vectorised drain (cohort batching over compiled op lanes)
     # ------------------------------------------------------------------
-    def _build_lane_arena(self) -> None:
+    def _build_lane_arena(self, local_ranks=None) -> None:
         """Concatenate every compiled rank's lane columns into flat arrays.
 
         Each compiled rank's :meth:`OpArrays.columns` block lands at offset
@@ -621,11 +701,17 @@ class Simulator:
         cohort's op codes (or peers, sizes, tags, seconds) at once.  The
         fields are copied out to contiguous per-lane arrays: gathers on a
         structured-array field view stride 40 bytes per element.
+
+        ``local_ranks`` restricts the arena to one partition's ranks (the
+        parallel engine's workers only ever step their own ranks, so the
+        other blocks' columns would be dead weight in every cache line).
         """
         chunks = []
         offset = 0
         for state in self._ranks:
             if state.compiled is None:
+                continue
+            if local_ranks is not None and state.rank not in local_ranks:
                 continue
             cols = state.compiled.lanes.columns()
             state.cp_base = offset
@@ -638,7 +724,7 @@ class Simulator:
         self._arena_tag = np.ascontiguousarray(arena["tag"])
         self._arena_seconds = np.ascontiguousarray(arena["seconds"])
 
-    def _run_loop_vectorised(self) -> None:
+    def _run_loop_vectorised(self, until: float | None = None) -> None:
         """The cohort-batching twin of :meth:`_run_loop`.
 
         Identical drain order and side effects, with one addition: a run of
@@ -651,6 +737,12 @@ class Simulator:
         other kind, so nothing is ever reordered across a delivery, callback
         or generator-rank step.  Cohorts below ``_VECTOR_MIN_COHORT`` fall
         back to the scalar :meth:`_step_compiled` per rank.
+
+        ``until`` bounds one conservative window of the parallel engine: the
+        loop returns as soon as the next live event lies at or beyond it
+        (leaving that event queued), so a partition drains exactly the
+        events with ``time < until``.  ``None`` (every in-process run)
+        drains to an empty queue.
         """
         queue = self._queue
         heap = queue._heap
@@ -669,6 +761,22 @@ class Simulator:
         min_cohort = _VECTOR_MIN_COHORT
         current = self.time
         while True:
+            if until is not None:
+                # Window bound (parallel engine): peek the next live record
+                # (cancelled heads purged exactly as EventQueue.peek_record
+                # does) and stop before popping anything at/after ``until``.
+                while heap and heap[0][EV_CANCELLED]:
+                    heappop(heap)
+                while fast and fast[0][EV_CANCELLED]:
+                    fast.popleft()
+                if fast and not (heap and heap[0] < fast[0]):
+                    if fast[0][EV_TIME] >= until:
+                        return
+                elif heap:
+                    if heap[0][EV_TIME] >= until:
+                        return
+                else:
+                    return
             # -- inline EventQueue.pop (batch-aware) --------------------
             if fast:
                 if heap and heap[0] < fast[0]:

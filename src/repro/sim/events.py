@@ -289,7 +289,7 @@ class EventQueue:
                 self._popped += 1
             batch.append(record)
 
-    def iter_cohort(self):
+    def iter_cohort(self, until: float | None = None):
         """Lazily yield the cohort of events sharing the earliest timestamp.
 
         The cancellation-safe sibling of :meth:`pop_batch`: each record is
@@ -300,7 +300,20 @@ class EventQueue:
         the cohort's timestamp while it executes are yielded as part of the
         same cohort (they land in the fast lane with larger sequence
         numbers), matching one-pop-at-a-time drain order exactly.
+
+        ``until`` bounds the drain to a conservative window: a cohort whose
+        timestamp is ``>= until`` is left untouched on the queue (nothing is
+        popped, nothing is counted) and the iterator yields nothing.  The
+        bound is checked once, against the first live record — a cohort
+        strictly below the bound always completes, because all its members
+        share one timestamp.  An empty queue or a head run of cancelled
+        records (including a fully cancelled cohort) also terminates cleanly:
+        :meth:`peek_record` purges cancelled heads without counting them.
         """
+        if until is not None:
+            head = self.peek_record()
+            if head is None or head[EV_TIME] >= until:
+                return
         record = self.pop()
         if record is None:
             return

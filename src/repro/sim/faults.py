@@ -67,7 +67,7 @@ from dataclasses import dataclass, replace
 from repro.util.rng import SeededRNG
 from repro.util.validation import check_non_negative, check_positive, check_probability
 
-__all__ = ["FaultConfig", "FaultInjector"]
+__all__ = ["FaultConfig", "FaultInjector", "merge_fault_partials"]
 
 
 @dataclass(frozen=True)
@@ -185,9 +185,12 @@ class FaultInjector:
         self.drop_active = config.drop_active
         self.degrade_active = config.degrade_active
         self.stall_active = config.stall_active
-        self._drop_rng = (
-            SeededRNG(self.seed, "faults", "drop") if self.drop_active else None
-        )
+        # One drop stream per *sender* rank (lazily created), so the fault
+        # decisions a rank's payloads experience depend only on that rank's
+        # own send order — never on how sends from different ranks interleave
+        # globally.  This is what lets the parallel engine fork one injector
+        # per partition and still replay the exact single-process decisions.
+        self._drop_rngs: dict[int, SeededRNG] = {}
         self._degrade_rng = (
             SeededRNG(self.seed, "faults", "degrade") if self.degrade_active else None
         )
@@ -203,7 +206,12 @@ class FaultInjector:
         self.duplicates_delivered = 0
         self.degraded_messages = 0
         self.stalls = 0
-        self.stall_time = 0.0
+        # Stall seconds are floats, so the *accumulation order* matters for
+        # bit-reproducibility.  They are kept per rank (each rank's stalls
+        # add in its own chronological order) and reduced in rank order at
+        # :meth:`counters` time — identical whether the run was one process
+        # or merged from per-partition injectors.
+        self._stall_time_by_rank: dict[int, float] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultInjector(seed={self.seed}, config={self.config!r})"
@@ -211,18 +219,24 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Drop / retransmit / duplicate (consulted by the transport)
     # ------------------------------------------------------------------
-    def data_fault(self) -> tuple[float, bool]:
-        """Fault decision for one data payload.
+    def data_fault(self, rank: int) -> tuple[float, bool]:
+        """Fault decision for one data payload sent by ``rank``.
 
         Returns ``(extra_delay, duplicate)``: the retransmission delay added
         to the payload's arrival (0.0 when the transmission succeeded), and
         whether a spurious duplicate copy also arrives at the original time.
-        Consumes random numbers only from the dedicated drop stream, and only
-        when the drop model is active.
+        Consumes random numbers only from the sending rank's dedicated drop
+        stream (``("faults", "drop", rank)``), and only when the drop model
+        is active — so the decision sequence a rank's payloads see is a pure
+        function of that rank's own send order.
         """
-        rng = self._drop_rng
+        if not self.drop_active:
+            return 0.0, False
+        rng = self._drop_rngs.get(rank)
+        if rng is None:
+            rng = self._drop_rngs[rank] = SeededRNG(self.seed, "faults", "drop", rank)
         config = self.config
-        if rng is None or not rng.bernoulli(config.drop_rate):
+        if not rng.bernoulli(config.drop_rate):
             return 0.0, False
         attempts = 1
         while attempts < config.max_retransmits and rng.bernoulli(config.drop_rate):
@@ -277,10 +291,17 @@ class FaultInjector:
             return 0.0
         delay = rng.exponential(config.stall_seconds)
         self.stalls += 1
-        self.stall_time += delay
+        by_rank = self._stall_time_by_rank
+        by_rank[rank] = by_rank.get(rank, 0.0) + delay
         return delay
 
     # ------------------------------------------------------------------
+    @property
+    def stall_time(self) -> float:
+        """Total stall seconds, reduced in rank order (engine-independent)."""
+        by_rank = self._stall_time_by_rank
+        return sum(by_rank[rank] for rank in sorted(by_rank))
+
     def counters(self) -> dict:
         """Deterministic, JSON-able fault accounting for this run."""
         return {
@@ -291,3 +312,43 @@ class FaultInjector:
             "stalls": self.stalls,
             "stall_time": self.stall_time,
         }
+
+    # -- parallel-engine merge support ----------------------------------
+    def partial_counters(self) -> dict:
+        """This injector's raw accounting, mergeable across partitions.
+
+        Integer counters sum exactly in any order; the float stall seconds
+        ship *per rank* so :func:`merge_fault_partials` can reproduce the
+        single-process reduction order bit for bit.
+        """
+        return {
+            "messages_dropped": self.messages_dropped,
+            "retransmissions": self.retransmissions,
+            "duplicates_delivered": self.duplicates_delivered,
+            "degraded_messages": self.degraded_messages,
+            "stalls": self.stalls,
+            "stall_by_rank": dict(self._stall_time_by_rank),
+        }
+
+
+def merge_fault_partials(partials: list[dict]) -> dict:
+    """Merge per-partition :meth:`FaultInjector.partial_counters` payloads.
+
+    Each rank lives in exactly one partition, so the per-rank stall sums are
+    disjoint; merging them and reducing in rank order reproduces exactly what
+    a single-process injector's :meth:`FaultInjector.counters` reports.
+    """
+    merged = {
+        "messages_dropped": 0,
+        "retransmissions": 0,
+        "duplicates_delivered": 0,
+        "degraded_messages": 0,
+        "stalls": 0,
+    }
+    stall_by_rank: dict[int, float] = {}
+    for partial in partials:
+        for key in merged:
+            merged[key] += partial[key]
+        stall_by_rank.update(partial["stall_by_rank"])
+    merged["stall_time"] = sum(stall_by_rank[rank] for rank in sorted(stall_by_rank))
+    return merged

@@ -217,6 +217,39 @@ class NetworkModel:
         self.total_bytes += int(nbytes)
         return arrival
 
+    def min_latency(self) -> float:
+        """Smallest delay any message can experience (the conservative lookahead).
+
+        Every arrival computed by :meth:`arrival_time` is at least
+        ``inject_time + latency`` (jitter, penalties, contention and
+        degradation only ever *add* delay; ``degrade_factor`` is validated
+        positive and ``>= 1`` in practice).  The parallel engine uses this as
+        its lookahead: with a positive minimum latency, a partition may
+        advance ``min_latency`` seconds of virtual time without hearing from
+        its peers.  A zero-latency network has no lookahead and cannot be
+        partitioned conservatively.
+        """
+        return self._latency
+
+    @property
+    def partition_safe(self) -> bool:
+        """True when per-partition timing replays the single-process run.
+
+        The parallel engine gives each partition its own network model, so
+        any *cross-message* state or shared RNG consumption would diverge
+        from the global call order of a single-process run.  Safe means: no
+        jitter draws (``jitter_sigma <= 0``), no drop/retransmit draws
+        (``drop_probability == 0``), and no per-destination contention
+        queues.  An attached link-degradation model is fine — its timeline is
+        a pure function of (seed, time), so every partition regenerates an
+        identical prefix.
+        """
+        return (
+            self._jitter_scale <= 0.0
+            and self._drop_probability == 0.0
+            and not self._contention
+        )
+
     @property
     def deterministic(self) -> bool:
         """True when :meth:`arrival_time` is a pure function of its arguments.

@@ -40,6 +40,7 @@ def run_workload(
     max_events: int | None = None,
     compiled: bool = True,
     engine: str = "auto",
+    engine_jobs: int = 2,
 ) -> SimulationResult:
     """Run ``workload`` and return the simulation result.
 
@@ -69,9 +70,11 @@ def run_workload(
         bit-identical either way; the flag exists for benchmarks and the
         equivalence tests.
     engine:
-        Run-loop drain selection (``"auto"``/``"scalar"``/``"vectorised"``),
-        forwarded to :class:`~repro.sim.engine.Simulator`.  Outputs are
-        bit-identical across drains.
+        Run-loop drain selection (``"auto"``/``"scalar"``/``"vectorised"``/
+        ``"parallel"``), forwarded to :class:`~repro.sim.engine.Simulator`.
+        Outputs are bit-identical across drains.
+    engine_jobs:
+        Worker-process count for ``engine="parallel"`` (ignored otherwise).
     """
     # Imported here: the workloads package initialises before the scenario
     # layer (scenario specs import workload classes), so the shim resolves
@@ -86,6 +89,7 @@ def run_workload(
         max_events=max_events,
         compiled=compiled,
         engine=engine,
+        engine_jobs=engine_jobs,
     )
     scenario = Scenario(
         spec,

@@ -59,15 +59,21 @@ def fingerprint(result):
     )
 
 
-def run_cell(name, nprocs, kwargs, policy, faults, engine, seed=23):
+def run_cell(
+    name, nprocs, kwargs, policy, faults, engine, seed=23, network=None, engine_jobs=2
+):
     workload = create_workload(name, nprocs=nprocs, **kwargs)
-    spec = ScenarioSpec(
+    spec_kwargs = dict(
         workload=WorkloadSpec.from_workload(workload),
         seed=seed,
         policy=policy,
         faults=faults,
         engine=engine,
+        engine_jobs=engine_jobs,
     )
+    if network is not None:
+        spec_kwargs["network"] = network
+    spec = ScenarioSpec(**spec_kwargs)
     return Scenario(spec, workload=workload).run().result
 
 
@@ -150,6 +156,124 @@ class TestVectorisedPathEngages:
             engine="scalar",
         )
         assert calls["step"] == 0
+
+
+#: Deterministic positive-latency network: the parallel engine's eligibility
+#: gate (it derives its lookahead from the minimum link latency).  The
+#: default jittered/contended network must *fall back* instead.
+PARALLEL_NETWORK = "noiseless:latency=25e-6"
+
+#: Vectorised baselines for the parallel matrix, computed once per cell.
+_parallel_baselines: dict = {}
+
+
+def _baseline(name, nprocs, kwargs, faults):
+    key = (name, nprocs, tuple(sorted(kwargs.items())), faults)
+    if key not in _parallel_baselines:
+        _parallel_baselines[key] = fingerprint(
+            run_cell(
+                name, nprocs, kwargs, "standard", faults,
+                engine="vectorised", network=PARALLEL_NETWORK,
+            )
+        )
+    return _parallel_baselines[key]
+
+
+class TestParallelEquivalence:
+    """Full registry x fault presets x {2, 3} partitions, parallel vs vectorised."""
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    @pytest.mark.parametrize("faults", FAULT_PRESETS)
+    @pytest.mark.parametrize("name,nprocs,kwargs", REGISTRY_CELLS)
+    def test_bit_identical_outputs(self, name, nprocs, kwargs, faults, jobs):
+        parallel = run_cell(
+            name, nprocs, kwargs, "standard", faults,
+            engine="parallel", network=PARALLEL_NETWORK, engine_jobs=jobs,
+        )
+        assert fingerprint(parallel) == _baseline(name, nprocs, kwargs, faults)
+
+    def test_engaged_run_reports_partition_info(self):
+        result = run_cell(
+            "bt", 9, {"scale": 0.03}, "standard", None,
+            engine="parallel", network=PARALLEL_NETWORK, engine_jobs=3,
+        )
+        info = result.parallel_info
+        assert info is not None and "fallback" not in info
+        assert info["partitions"] == 3
+        assert info["windows"] > 0
+        assert info["lookahead"] == pytest.approx(25e-6)
+
+    def test_default_network_falls_back_with_reason(self):
+        # Jitter makes arrival computation order-sensitive across partitions,
+        # so the default network is ineligible — the run must complete
+        # in-process (bit-identically) and say why.
+        parallel = run_cell(
+            "bt", 9, {"scale": 0.03}, "standard", None, engine="parallel"
+        )
+        assert parallel.parallel_info is not None
+        assert "fallback" in parallel.parallel_info
+        baseline = run_cell(
+            "bt", 9, {"scale": 0.03}, "standard", None, engine="vectorised"
+        )
+        assert fingerprint(parallel) == fingerprint(baseline)
+
+    def test_partition_unsafe_policy_falls_back(self):
+        result = run_cell(
+            "bt", 9, {"scale": 0.03}, "predictive-credits", None,
+            engine="parallel", network=PARALLEL_NETWORK,
+        )
+        assert "fallback" in result.parallel_info
+
+    def test_single_job_falls_back(self):
+        result = run_cell(
+            "bt", 9, {"scale": 0.03}, "standard", None,
+            engine="parallel", network=PARALLEL_NETWORK, engine_jobs=1,
+        )
+        assert "fallback" in result.parallel_info
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestParallelPartitionProperty:
+    """Any contiguous cut of the rank space yields bit-identical outputs."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(cuts=st.sets(st.integers(min_value=1, max_value=8), max_size=3))
+    def test_random_partition_boundaries(self, cuts):
+        from repro.sim.engine import Simulator
+        from repro.sim.network import NetworkConfig, NetworkModel
+
+        nprocs = 9
+        bounds = [0, *sorted(cuts), nprocs]
+        blocks = [
+            list(range(lo, hi)) for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+        ]
+        if len(blocks) < 2:
+            blocks = [list(range(0, 4)), list(range(4, nprocs))]
+
+        def run(engine, partitioner=None):
+            workload = create_workload("bt", nprocs=nprocs, scale=0.03)
+            network = NetworkModel(
+                NetworkConfig(latency=25e-6, jitter_sigma=0.0, contention=False),
+                nprocs,
+            )
+            sim = Simulator(
+                nprocs=nprocs,
+                network=network,
+                tracer=True,
+                seed=23,
+                engine=engine,
+                engine_jobs=len(blocks),
+                partitioner=partitioner,
+            )
+            return sim.run([workload.program_for])
+
+        parallel = run("parallel", partitioner=lambda n, jobs: blocks)
+        assert parallel.parallel_info == {
+            "partitions": len(blocks),
+            "windows": parallel.parallel_info["windows"],
+            "lookahead": 25e-6,
+        }
+        assert fingerprint(parallel) == fingerprint(run("vectorised"))
 
 
 class TestShardedSweepEquivalence:

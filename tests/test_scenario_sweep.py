@@ -190,6 +190,40 @@ class TestRunAll:
         assert Sweep().run_all() == []
 
 
+class TestParallelSweepKnobs:
+    def test_cost_hint_discounts_parallel_width(self):
+        base = ScenarioSpec(workload="bt.9:scale=0.03")
+        par = base.with_overrides(engine="parallel", engine_jobs=4)
+        assert par.cost_hint() == pytest.approx(base.cost_hint() / 4)
+        # Engine width only matters when the parallel engine can use it.
+        vec = base.with_overrides(engine="vectorised", engine_jobs=4)
+        assert vec.cost_hint() == base.cost_hint()
+
+    def test_pool_capped_when_oversubscribed(self, monkeypatch):
+        import repro.scenario.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 4)
+        sweep = Sweep(
+            base={"workload": "bt.4:scale=0.02", "seed": 1}, grid={"seed": [1, 2]}
+        )
+        with pytest.warns(RuntimeWarning, match="oversubscribe"):
+            results = sweep.run_all(jobs=2, engine="parallel", engine_jobs=4)
+        assert len(results) == 2
+        assert all(not isinstance(r, Exception) for r in results)
+
+    def test_no_cap_within_cpu_budget(self, monkeypatch):
+        import warnings
+
+        import repro.scenario.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 64)
+        sweep = Sweep(base={"workload": "bt.4:scale=0.02", "seed": 1})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            results = sweep.run_all(jobs=2, engine="parallel", engine_jobs=4)
+        assert len(results) == 1
+
+
 class TestAccuracyTable:
     """sweep_accuracy_table over finished sweeps (and the CLI flag)."""
 

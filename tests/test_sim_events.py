@@ -262,6 +262,51 @@ class TestIterCohort:
             record[EV_A]()
         assert fired == ["late"]
 
+    def test_empty_queue_yields_nothing(self):
+        queue = EventQueue()
+        assert list(queue.iter_cohort()) == []
+        assert list(queue.iter_cohort(until=1.0)) == []
+        assert queue.events_processed == 0
+
+    def test_fully_cancelled_cohort_terminates_cleanly(self):
+        # A head run of cancelled records — including an entirely cancelled
+        # cohort — must neither yield nor count, bounded or not.
+        queue = EventQueue()
+        doomed = [queue.push_typed(1.0, EVENT_CALLBACK, i) for i in range(3)]
+        survivor = queue.push_typed(2.0, EVENT_CALLBACK, "ok")
+        for record in doomed:
+            queue.cancel(record)
+        assert list(queue.iter_cohort(until=1.5)) == []
+        assert queue.events_processed == 0
+        assert list(queue.iter_cohort()) == [survivor]
+        assert queue.events_processed == 1
+
+    def test_until_bound_leaves_cohort_untouched(self):
+        queue = EventQueue()
+        records = [queue.push_typed(2.0, EVENT_CALLBACK, i) for i in range(3)]
+        assert list(queue.iter_cohort(until=2.0)) == []  # t >= until: excluded
+        assert len(queue) == 3  # nothing popped, nothing counted
+        assert queue.events_processed == 0
+        assert list(queue.iter_cohort(until=2.5)) == records  # t < until: full cohort
+        assert queue.events_processed == 3
+
+    def test_live_counter_consistent_after_bounded_and_cancelled_drains(self):
+        # Regression: the live counter must stay exact through the partial
+        # pops iter_cohort performs (bounded windows, cancelled purges).
+        queue = EventQueue()
+        first = [queue.push_typed(1.0, EVENT_CALLBACK, i) for i in range(2)]
+        queue.push_typed(2.0, EVENT_CALLBACK, "later")
+        queue.cancel(first[1])
+        assert len(queue) == 2
+        assert list(queue.iter_cohort(until=1.5)) == [first[0]]
+        assert len(queue) == 1
+        assert bool(queue)
+        assert list(queue.iter_cohort(until=1.5)) == []
+        assert len(queue) == 1
+        assert [r[EV_A] for r in queue.iter_cohort()] == ["later"]
+        assert len(queue) == 0
+        assert not queue
+
 
 class TestBatchRecords:
     def test_step_batch_counts_as_len_states(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.scenario import FaultSpec, Scenario, ScenarioSpec
 from repro.sim import SimulationError, TimeLimitExceeded
-from repro.sim.faults import FaultConfig, FaultInjector
+from repro.sim.faults import FaultConfig, FaultInjector, merge_fault_partials
 from repro.sim.registry import create_faults, fault_preset_names
 
 
@@ -57,15 +57,29 @@ class TestFaultInjector:
         runs = []
         for _ in range(2):
             injector = FaultInjector(FaultConfig(drop_rate=0.3), run_seed=11)
-            runs.append([injector.data_fault() for _ in range(200)])
+            runs.append([injector.data_fault(0) for _ in range(200)])
         assert runs[0] == runs[1]
         injector_other = FaultInjector(FaultConfig(drop_rate=0.3), run_seed=12)
-        assert [injector_other.data_fault() for _ in range(200)] != runs[0]
+        assert [injector_other.data_fault(0) for _ in range(200)] != runs[0]
+
+    def test_data_fault_streams_independent_per_sender(self):
+        # Per-sender drop streams: each sending rank draws from its own RNG,
+        # so a replayed injector reproduces one rank's decisions regardless
+        # of how other ranks' draws interleave (the partitioned engine
+        # depends on exactly this).
+        config = FaultConfig(drop_rate=0.5)
+        injector = FaultInjector(config, run_seed=11)
+        per_rank = {
+            rank: [injector.data_fault(rank) for _ in range(100)] for rank in range(3)
+        }
+        assert per_rank[0] != per_rank[1]
+        replay = FaultInjector(config, run_seed=11)
+        assert [replay.data_fault(2) for _ in range(100)] == per_rank[2]
 
     def test_drop_counters_and_delay_quantum(self):
         config = FaultConfig(drop_rate=0.5, retransmit_timeout=1e-3)
         injector = FaultInjector(config, run_seed=1)
-        decisions = [injector.data_fault() for _ in range(500)]
+        decisions = [injector.data_fault(0) for _ in range(500)]
         dropped = [delay for delay, _ in decisions if delay > 0.0]
         assert injector.messages_dropped == len(dropped) > 0
         assert injector.retransmissions >= injector.messages_dropped
@@ -80,15 +94,15 @@ class TestFaultInjector:
         config = FaultConfig(drop_rate=0.5, duplicate_rate=1.0)
         injector = FaultInjector(config, run_seed=2)
         for _ in range(100):
-            delay, duplicate = injector.data_fault()
+            delay, duplicate = injector.data_fault(0)
             assert duplicate == (delay > 0.0)
         assert injector.duplicates_delivered == injector.messages_dropped
 
     def test_pinned_config_seed_beats_run_seed(self):
         pinned_a = FaultInjector(FaultConfig(drop_rate=0.3, seed=5), run_seed=1)
         pinned_b = FaultInjector(FaultConfig(drop_rate=0.3, seed=5), run_seed=2)
-        assert [pinned_a.data_fault() for _ in range(100)] == [
-            pinned_b.data_fault() for _ in range(100)
+        assert [pinned_a.data_fault(0) for _ in range(100)] == [
+            pinned_b.data_fault(0) for _ in range(100)
         ]
 
     def test_degrade_timeline_alternates_and_is_stable(self):
@@ -122,6 +136,30 @@ class TestFaultInjector:
         assert injector.stall_time == pytest.approx(
             sum(d for delays in per_rank.values() for d in delays)
         )
+
+
+class TestFaultPartials:
+    def test_merged_partials_match_single_injector(self):
+        # Two partition-local injectors, each fed a disjoint half of the
+        # ranks, must merge to exactly what one whole-job injector counts —
+        # this is the invariant the parallel engine's result merge rests on.
+        config = FaultConfig(
+            drop_rate=0.5, duplicate_rate=0.5, stall_rate=0.5, stall_seconds=1e-3
+        )
+        whole = FaultInjector(config, run_seed=9)
+        parts = [FaultInjector(config, run_seed=9) for _ in range(2)]
+        for rank in range(4):
+            part = parts[rank // 2]
+            for _ in range(50):
+                assert part.data_fault(rank) == whole.data_fault(rank)
+                assert part.stall(rank) == whole.stall(rank)
+        merged = merge_fault_partials([p.partial_counters() for p in parts])
+        assert merged == whole.counters()
+
+    def test_merge_of_empty_partials(self):
+        assert merge_fault_partials([]) == FaultInjector(
+            FaultConfig(drop_rate=0.1), run_seed=1
+        ).counters()
 
 
 class TestFaultPresets:
