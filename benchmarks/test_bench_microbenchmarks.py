@@ -547,6 +547,54 @@ class TestFeedMicrobenchmarks:
         result = benchmark.pedantic(simulate, rounds=3, iterations=1)
         assert result.stats.messages_sent > 0
 
+    def test_bench_feed_collective_mix_oparray(self, benchmark):
+        """Collective kernels macro-expanded onto the op-array fast lane.
+
+        The collective coverage workload (one of every algorithm per
+        iteration) stresses the compiler's collective lowering: every
+        decomposition send/recv becomes a flat lane op.  Bit-identity
+        against the generator path is asserted before timing."""
+        def run(compiled):
+            return Scenario(
+                ScenarioSpec(
+                    workload="collective-mix.8:iterations=3", seed=1,
+                    compiled=compiled,
+                )
+            ).run().result
+
+        assert _feed_fingerprint(run(True)) == _feed_fingerprint(run(False))
+
+        result = benchmark.pedantic(lambda: run(True), rounds=3, iterations=1)
+        assert result.stats.messages_sent > 0
+
+    def test_bench_feed_collective_mix_generator_baseline(self, benchmark):
+        """Reference cost of the collective mix under the generator protocol."""
+
+        def simulate():
+            return Scenario(
+                ScenarioSpec(
+                    workload="collective-mix.8:iterations=3", seed=1,
+                    compiled=False,
+                )
+            ).run().result
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.messages_sent > 0
+
+    def test_bench_feed_replay_oparray(self, benchmark):
+        """Trace replay (all-upfront irecv/isend program) on the fast lane."""
+        trace = os.path.join(
+            os.path.dirname(__file__), os.pardir, "examples", "sample_trace.jsonl"
+        )
+
+        def simulate():
+            return Scenario(
+                ScenarioSpec(workload=f"replay:file={trace}", seed=1, compiled=True)
+            ).run().result
+
+        result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+        assert result.stats.messages_sent > 0
+
 
 def _scale_workload(name: str, nprocs: int):
     """Scaling-curve workload: iterations pinned so every size is tractable."""

@@ -40,6 +40,7 @@ over the same declarative API library users call.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -80,9 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_cmd = sub.add_parser("run", help="simulate one scenario")
-    run_cmd.add_argument("workload", choices=workload_names())
-    run_cmd.add_argument("--nprocs", type=int, required=True)
-    run_cmd.add_argument("--scale", type=float, default=1.0)
+    run_cmd.add_argument(
+        "workload",
+        metavar="WORKLOAD",
+        help="registry name or workload shorthand, e.g. 'bt', 'bt.9:scale=0.2' "
+        "or 'replay:file=trace.jsonl' (see 'repro list' for names)",
+    )
+    run_cmd.add_argument(
+        "--nprocs",
+        type=int,
+        default=None,
+        help="process count (optional when the shorthand carries it, or for "
+        "'replay:', which takes it from the trace file)",
+    )
+    run_cmd.add_argument("--scale", type=float, default=None)
     run_cmd.add_argument("--seed", type=int, default=2003)
     run_cmd.add_argument("--jitter", type=float, default=None, help="network jitter sigma override")
     run_cmd.add_argument(
@@ -92,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KIND[:k=v,...]",
         help="flow-control policy shorthand, e.g. 'credit:horizon=5' "
         "(default: standard; see 'repro list')",
+    )
+    run_cmd.add_argument(
+        "--engine",
+        choices=["auto", "scalar", "vectorised", "parallel"],
+        default=None,
+        help="simulation engine (results are engine-independent — this only "
+        "changes how they are computed)",
+    )
+    run_cmd.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --engine parallel (default: 2; 0 "
+        "auto-tunes to the machine's CPU count)",
     )
     run_cmd.add_argument("--save-traces", type=str, default=None, metavar="FILE")
 
@@ -155,9 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes per cell for --engine parallel (default: 2); "
-        "the cell pool is capped so --jobs x --engine-jobs stays within "
-        "the machine's CPUs",
+        help="worker processes per cell for --engine parallel (default: 2; "
+        "0 auto-tunes to the machine's CPU count); the cell pool is capped "
+        "so --jobs x --engine-jobs stays within the machine's CPUs",
     )
     sweep_cmd.add_argument(
         "--accuracy-table",
@@ -238,11 +265,36 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    try:
+        workload_spec = WorkloadSpec.from_shorthand(args.workload)
+    except (ValueError, KeyError) as error:
+        print(f"cannot parse workload {args.workload!r}: {error}", file=sys.stderr)
+        return 2
+    if workload_spec.name not in workload_names():
+        print(
+            f"unknown workload {workload_spec.name!r}; "
+            f"available: {', '.join(workload_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    if args.nprocs is not None:
+        overrides["nprocs"] = args.nprocs
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if overrides:
+        workload_spec = dataclasses.replace(workload_spec, **overrides)
+    engine_kwargs = {}
+    if args.engine is not None:
+        engine_kwargs["engine"] = args.engine
+    if args.engine_jobs is not None:
+        engine_kwargs["engine_jobs"] = args.engine_jobs
     spec = ScenarioSpec(
-        workload=WorkloadSpec(name=args.workload, nprocs=args.nprocs, scale=args.scale),
+        workload=workload_spec,
         seed=args.seed,
         network={"overrides": {"jitter_sigma": args.jitter}} if args.jitter is not None else None,
         policy=args.policy,
+        **engine_kwargs,
     )
     scenario_result = Scenario(spec).run()
     workload = scenario_result.workload

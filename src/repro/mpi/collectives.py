@@ -33,7 +33,26 @@ from __future__ import annotations
 from typing import Generator, Sequence
 
 from repro.mpi.constants import KIND_COLLECTIVE
-from repro.mpi.ops import IrecvOp, IsendOp, Operation, RecvOp, SendOp, WaitallOp
+from repro.mpi.ops import (
+    AllgatherOp,
+    AllreduceOp,
+    AlltoallOp,
+    AlltoallvOp,
+    BarrierOp,
+    BcastOp,
+    GatherOp,
+    IallgatherOp,
+    IalltoallOp,
+    IrecvOp,
+    IsendOp,
+    Operation,
+    RecvOp,
+    ReduceOp,
+    ScatterOp,
+    SendOp,
+    WaitallOp,
+)
+from repro.mpi.request import CollectiveRequest
 
 __all__ = [
     "TAG_STRIDE",
@@ -47,6 +66,9 @@ __all__ = [
     "alltoall",
     "alltoallv",
     "barrier",
+    "ialltoall",
+    "iallgather",
+    "decomposition_for",
 ]
 
 CollectiveGen = Generator[Operation, object, None]
@@ -188,6 +210,77 @@ def alltoallv(rank: int, size: int, send_bytes: Sequence[int], tag: int) -> Coll
         dest = (rank + step) % size
         source = (rank - step) % size
         yield from sendrecv(dest, int(send_bytes[dest]), source, tag)
+
+
+def ialltoall(rank: int, size: int, nbytes: int, tag: int) -> CollectiveGen:
+    """Nonblocking pairwise alltoall; *returns* a :class:`CollectiveRequest`.
+
+    Posts every receive first (deadlock freedom under rendezvous), then every
+    send, and hands back a composite request covering all ``2*(P-1)``
+    handles instead of waiting — the caller decides when to ``wait`` on it.
+    The peer schedule matches :func:`alltoall`'s pairwise exchange: at step
+    ``s`` the rank sends to ``(rank + s) % P`` and receives from
+    ``(rank - s) % P``.
+    """
+    requests: list = []
+    if size > 1:
+        for step in range(1, size):
+            source = (rank - step) % size
+            req = yield IrecvOp(source=source, tag=tag, kind=KIND_COLLECTIVE)
+            requests.append(req)
+        for step in range(1, size):
+            dest = (rank + step) % size
+            req = yield IsendOp(dest=dest, nbytes=int(nbytes), tag=tag, kind=KIND_COLLECTIVE)
+            requests.append(req)
+    return CollectiveRequest(requests)
+
+
+def iallgather(rank: int, size: int, nbytes: int, tag: int) -> CollectiveGen:
+    """Nonblocking allgather; *returns* a :class:`CollectiveRequest`.
+
+    Uses the flat pairwise pattern of :func:`ialltoall` — with a uniform
+    block size every rank ships its own ``nbytes`` block to each peer, so the
+    traffic is identical to an ``nbytes``-per-pair alltoall.  (A documented
+    simplification: the blocking :func:`allgather` rings the blocks instead,
+    which has the same total volume but different peer schedule.)
+    """
+    result = yield from ialltoall(rank, size, nbytes, tag)
+    return result
+
+
+def decomposition_for(operation: Operation, rank: int, size: int) -> CollectiveGen:
+    """The point-to-point decomposition generator for a first-class collective.
+
+    The engine's generator path and the compiler's replay both expand
+    :class:`repro.mpi.ops.CollectiveOp` operations through this single
+    dispatch, which is what makes the two paths bit-identical by
+    construction.  Blocking collectives return ``None``; nonblocking ones
+    return a :class:`CollectiveRequest` via ``StopIteration.value``.
+    """
+    cls = operation.__class__
+    if cls is BcastOp:
+        return broadcast(rank, size, operation.nbytes, operation.root, operation.tag)
+    if cls is ReduceOp:
+        return reduce(rank, size, operation.nbytes, operation.root, operation.tag)
+    if cls is AllreduceOp:
+        return allreduce(rank, size, operation.nbytes, operation.tag)
+    if cls is AllgatherOp:
+        return allgather(rank, size, operation.nbytes, operation.tag)
+    if cls is GatherOp:
+        return gather(rank, size, operation.nbytes, operation.root, operation.tag)
+    if cls is ScatterOp:
+        return scatter(rank, size, operation.nbytes, operation.root, operation.tag)
+    if cls is AlltoallOp:
+        return alltoall(rank, size, operation.nbytes, operation.tag)
+    if cls is AlltoallvOp:
+        return alltoallv(rank, size, list(operation.send_bytes), operation.tag)
+    if cls is BarrierOp:
+        return barrier(rank, size, operation.tag)
+    if cls is IalltoallOp:
+        return ialltoall(rank, size, operation.nbytes, operation.tag)
+    if cls is IallgatherOp:
+        return iallgather(rank, size, operation.nbytes, operation.tag)
+    raise TypeError(f"not a collective operation: {operation!r}")
 
 
 def barrier(rank: int, size: int, tag: int) -> CollectiveGen:

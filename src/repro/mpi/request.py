@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, NamedTuple
 
-__all__ = ["Status", "Request"]
+__all__ = ["Status", "Request", "CollectiveRequest"]
 
 _request_ids = itertools.count()
 
@@ -134,3 +134,62 @@ class Request:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.completed else "pending"
         return f"Request(id={self.req_id}, {self.op_kind}, rank={self.rank}, {state})"
+
+
+class CollectiveRequest:
+    """Composite handle for a nonblocking collective (``MPI_Ialltoall``...).
+
+    Wraps the point-to-point :class:`Request` handles of the collective's
+    decomposition; it is complete when all of them are.  Exposes the same
+    waiting surface the engine uses on plain requests (``completed``,
+    ``completion_time``, ``add_callback``), so ``wait``/``waitall`` accept
+    composite and plain handles interchangeably.  ``status`` is always
+    ``None`` — a collective has no single matched message — which is also
+    what ``op_kind = "coll"`` signals to the engine's result shaping.
+    """
+
+    __slots__ = ("requests",)
+
+    op_kind = "coll"
+    status = None
+    cancelled = False
+
+    def __init__(self, requests: list[Request]) -> None:
+        self.requests = list(requests)
+
+    @property
+    def completed(self) -> bool:
+        return all(request.completed for request in self.requests)
+
+    @property
+    def completion_time(self) -> float:
+        """Latest completion time among the constituent requests.
+
+        Only meaningful once :attr:`completed` is true; an empty composite
+        (single-rank collective) completes immediately at time 0.0, which the
+        engine's resume logic clamps up to the current clock.
+        """
+        return max(
+            (request.completion_time for request in self.requests), default=0.0
+        )
+
+    def add_callback(self, callback: Callable[["CollectiveRequest"], None]) -> None:
+        """Run ``callback(self)`` once every constituent request completes."""
+        remaining = [req for req in self.requests if not req.completed]
+        if not remaining:
+            callback(self)
+            return
+        outstanding = len(remaining)
+
+        def _on_sub_complete(_request: Request) -> None:
+            nonlocal outstanding
+            outstanding -= 1
+            if outstanding == 0:
+                callback(self)
+
+        for request in remaining:
+            request.add_callback(_on_sub_complete)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else "pending"
+        return f"CollectiveRequest({len(self.requests)} requests, {state})"

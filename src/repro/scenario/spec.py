@@ -141,14 +141,19 @@ class WorkloadSpec:
         object.__setattr__(self, "params", _freeze_items(self.params))
         if not self.name:
             raise ValueError("workload spec needs a workload name")
-        if int(self.nprocs) <= 0:
+        # nprocs == 0 is the "resolved by the workload" sentinel: trace
+        # replay (``replay:file=...``) takes its process count from the
+        # file.  Workloads that need an explicit count still reject 0 in
+        # their own constructors, with the same error they always raised.
+        if int(self.nprocs) < 0:
             raise ValueError(f"nprocs must be positive, got {self.nprocs}")
         object.__setattr__(self, "nprocs", int(self.nprocs))
 
     @property
     def label(self) -> str:
         """Paper-style label, e.g. ``bt.9`` (``sw.32`` for sweep3d)."""
-        return f"{_LABEL_SHORT.get(self.name, self.name)}.{self.nprocs}"
+        short = _LABEL_SHORT.get(self.name, self.name)
+        return short if self.nprocs == 0 else f"{short}.{self.nprocs}"
 
     def build(self) -> Workload:
         """Instantiate the workload through the registry."""
@@ -194,8 +199,10 @@ class WorkloadSpec:
         data = dict(data)
         if "name" not in data:
             raise ValueError(f"workload spec {data!r} is missing 'name'")
-        if "nprocs" not in data:
-            raise ValueError(f"workload spec {data!r} is missing 'nprocs'")
+        # A missing nprocs means the sentinel 0 (see __post_init__): legal
+        # for replay specs, and a clear "nprocs must be positive" error at
+        # build time for every other workload.
+        data.setdefault("nprocs", 0)
         params = dict(data.pop("params", {}))
         kwargs = {}
         for field in cls._FIELDS:
@@ -571,6 +578,7 @@ class ScenarioSpec:
     #: specs that differ only in it share sweep cache cells and summary output.
     engine: str = "auto"
     #: Worker-process count for ``engine="parallel"`` (ignored otherwise).
+    #: 0 means auto-tune: the engine resolves it to ``os.cpu_count()``.
     #: Excluded from identity for the same reason as ``engine``.
     engine_jobs: int = 2
 
@@ -598,9 +606,9 @@ class ScenarioSpec:
                 f"got {self.engine!r}"
             )
         coerce(self, "engine_jobs", int(self.engine_jobs))
-        if self.engine_jobs <= 0:
+        if self.engine_jobs < 0:
             raise ValueError(
-                f"engine_jobs must be positive, got {self.engine_jobs}"
+                f"engine_jobs must be positive (or 0 for auto), got {self.engine_jobs}"
             )
 
     # -- identity ----------------------------------------------------------

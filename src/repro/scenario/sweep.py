@@ -552,11 +552,13 @@ class Sweep:
         if not specs:
             return []
         if jobs is not None and jobs > 1:
+            cpus = os.cpu_count() or 1
+            # engine_jobs == 0 is "auto": the engine resolves it to the CPU
+            # count, so the cap must budget for that resolved width.
             widest = max(
-                (s.engine_jobs for s in specs if s.engine == "parallel"),
+                (s.engine_jobs or cpus for s in specs if s.engine == "parallel"),
                 default=1,
             )
-            cpus = os.cpu_count() or 1
             if widest > 1 and jobs * widest > cpus:
                 capped = max(1, cpus // widest)
                 warnings.warn(

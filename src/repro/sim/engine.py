@@ -53,6 +53,7 @@ closure-per-event engine.
 from __future__ import annotations
 
 import gc
+import os
 from dataclasses import dataclass, field
 from enum import Enum
 from heapq import heappop as _heappop, heappush as _heappush
@@ -61,6 +62,7 @@ from typing import Callable, Generator, Sequence
 
 import numpy as np
 
+from repro.mpi.collectives import decomposition_for
 from repro.mpi.communicator import Communicator, RankContext
 from repro.mpi.ops import (
     OP_COMPUTE,
@@ -68,7 +70,9 @@ from repro.mpi.ops import (
     OP_ISEND,
     OP_RECV,
     OP_SEND,
+    OP_WAIT,
     OP_WAITALL,
+    CollectiveOp,
     CompiledProgram,
     ComputeOp,
     IrecvOp,
@@ -164,7 +168,12 @@ class RankState:
     steps: int = 0
     blocked_on: str = ""
     #: Cached ``generator.send`` bound method (set by :meth:`Simulator.run`).
+    #: While a first-class collective is being expanded, this points at the
+    #: decomposition generator's ``send`` instead (see ``gen_stack``).
     resume_fn: Callable | None = None
+    #: Suspended outer ``resume_fn`` frames during collective expansion
+    #: (:meth:`Simulator._op_collective`); lazily allocated, usually depth 1.
+    gen_stack: list | None = None
     #: The rank's :class:`CompiledProgram`, or None in generator mode.
     compiled: CompiledProgram | None = None
     #: Next op index in the compiled lanes.
@@ -200,10 +209,12 @@ class SimulationResult:
     #: when the run had no active fault models.
     fault_stats: dict | None = None
     #: Parallel-engine diagnostics: ``{"partitions": k, "windows": n,
-    #: "lookahead": s}`` when the run was partitioned across worker
-    #: processes, ``{"fallback": reason}`` when ``engine="parallel"`` was
-    #: requested but the configuration was ineligible (the run then executed
-    #: in-process, bit-identically), and None for non-parallel engines.
+    #: "lookahead": s, "engine_jobs": j}`` when the run was partitioned
+    #: across worker processes, ``{"fallback": reason, "engine_jobs": j}``
+    #: when ``engine="parallel"`` was requested but the configuration was
+    #: ineligible (the run then executed in-process, bit-identically), and
+    #: None for non-parallel engines.  ``engine_jobs`` is the *resolved*
+    #: worker count — ``engine_jobs=0`` auto-tunes to ``os.cpu_count()``.
     parallel_info: dict | None = None
 
     def trace_for(self, rank: int):
@@ -281,7 +292,8 @@ class Simulator:
         :attr:`SimulationResult.parallel_info`.
     engine_jobs:
         Number of worker processes for ``engine="parallel"`` (ignored by the
-        other engines).  Values below 2 fall back to in-process execution.
+        other engines).  ``0`` auto-tunes to ``os.cpu_count()``; resolved
+        values below 2 fall back to in-process execution.
     partitioner:
         Optional callable ``(nprocs, jobs) -> list[list[int]]`` assigning
         ranks to partitions for ``engine="parallel"``; defaults to
@@ -316,8 +328,13 @@ class Simulator:
                 "engine must be 'auto', 'scalar', 'vectorised' or 'parallel', "
                 f"got {engine!r}"
             )
-        if engine_jobs <= 0:
-            raise ValueError(f"engine_jobs must be positive, got {engine_jobs}")
+        if engine_jobs == 0:
+            # Auto-tune: one partition per available core.
+            engine_jobs = os.cpu_count() or 1
+        if engine_jobs < 0:
+            raise ValueError(
+                f"engine_jobs must be positive (or 0 for auto), got {engine_jobs}"
+            )
         self.engine = engine
         self.engine_jobs = engine_jobs
         self.partitioner = partitioner
@@ -388,6 +405,10 @@ class Simulator:
             IrecvOp: self._op_irecv,
             WaitOp: self._op_wait,
             WaitallOp: self._op_waitall,
+            # Subclasses resolve (and cache) through _resolve_handler's MRO
+            # walk.  This is the only handler that returns True: it expands
+            # the collective in place and _step keeps driving the same event.
+            CollectiveOp: self._op_collective,
         }
 
     # ------------------------------------------------------------------
@@ -490,8 +511,9 @@ class Simulator:
 
                 return run_partitioned(self)
             # Ineligible configuration: run in-process (bit-identical by
-            # construction) and record why the partitioned path disengaged.
-            self.parallel_info = {"fallback": reason}
+            # construction) and record why the partitioned path disengaged,
+            # plus the resolved worker count (auto-tuned when 0 was passed).
+            self.parallel_info = {"fallback": reason, "engine_jobs": self.engine_jobs}
 
         self._done_count = 0
         for state in self._ranks:
@@ -1210,23 +1232,44 @@ class Simulator:
         ``state.status`` is already READY here: ranks start READY, stay READY
         across non-blocking resumptions, and :meth:`_resume` restores READY
         when a blocking operation completes.
+
+        The loop exists for first-class collectives: yielding a
+        :class:`CollectiveOp` re-targets ``resume_fn`` at the collective's
+        decomposition generator (:meth:`_op_collective`) and the *same* step
+        event keeps driving it, exactly as ``yield from`` would — the macro
+        itself consumes no events, so the two spellings are bit-identical.
+        Likewise, a finished decomposition resumes the suspended outer frame
+        with its return value within the same event (mirroring how
+        ``yield from`` propagates ``StopIteration.value``).
         """
         if state.status is _DONE:
             raise SimulationError(f"rank {state.rank} stepped after completion")
         state.steps += 1
-        try:
-            operation = state.resume_fn(value)
-        except StopIteration:
-            state.status = _DONE
-            self._done_count += 1
+        resume = state.resume_fn
+        while True:
+            try:
+                operation = resume(value)
+            except StopIteration as stop:
+                gen_stack = state.gen_stack
+                if gen_stack:
+                    resume = state.resume_fn = gen_stack.pop()
+                    value = stop.value
+                    continue
+                state.status = _DONE
+                self._done_count += 1
+                return
+            except Exception:
+                state.status = _FAILED
+                raise
+            handler = self._op_table.get(operation.__class__)
+            if handler is None:
+                handler = self._resolve_handler(state, operation)
+            if handler(state, operation):
+                # Collective macro expanded: drive the decomposition now.
+                resume = state.resume_fn
+                value = None
+                continue
             return
-        except Exception:
-            state.status = _FAILED
-            raise
-        handler = self._op_table.get(operation.__class__)
-        if handler is None:
-            handler = self._resolve_handler(state, operation)
-        handler(state, operation)
 
     def _step_compiled(self, state: RankState) -> None:
         """Execute the next op of a compiled (op-array) rank program.
@@ -1287,6 +1330,17 @@ class Simulator:
             requests = state.cp_pending
             state.cp_pending = []
             self._block_on(state, requests, _result_none, "waitall", recycle=True)
+            return
+        elif code == OP_WAIT:
+            # Wait for a contiguous slice of the pending list (offset in the
+            # ``a`` lane, count in the ``nbytes`` lane): how the compiler
+            # lowers nonblocking-collective composites and partial waitalls.
+            offset = state.cp_a[i]
+            stop = offset + state.cp_nbytes[i]
+            pending = state.cp_pending
+            requests = pending[offset:stop]
+            del pending[offset:stop]
+            self._block_on(state, requests, _result_none, "wait", recycle=True)
             return
         elif code == OP_RECV:
             request = self.transport.post_recv_values(
@@ -1400,6 +1454,20 @@ class Simulator:
             fast.append(record)
         else:
             _heappush(queue._heap, record)
+
+    def _op_collective(self, state: RankState, op: CollectiveOp) -> bool:
+        """Expand a first-class collective into its decomposition generator.
+
+        Pushes the current frame and re-targets ``resume_fn`` at the
+        decomposition; returning True tells :meth:`_step` to keep driving
+        the same event, so the macro consumes no events of its own.
+        """
+        gen_stack = state.gen_stack
+        if gen_stack is None:
+            gen_stack = state.gen_stack = []
+        gen_stack.append(state.resume_fn)
+        state.resume_fn = decomposition_for(op, state.rank, self.nprocs).send
+        return True
 
     def _op_wait(self, state: RankState, op: WaitOp) -> None:
         request = op.request

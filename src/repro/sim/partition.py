@@ -293,6 +293,7 @@ def _merge_results(sim, blocks, payloads, windows: int, lookahead: float):
         "partitions": len(blocks),
         "windows": windows,
         "lookahead": lookahead,
+        "engine_jobs": sim.engine_jobs,
     }
     return SimulationResult(
         nprocs=nprocs,

@@ -194,11 +194,22 @@ class TraceColumns(Sequence):
         self.seq.frombytes(seqs[order].tobytes())
 
     def sort_by_arrival(self) -> None:
-        """Sort by ``(time, seq)`` (the physical canonical order).
+        """Sort by ``(time, sender, tag)`` (the physical canonical order).
 
-        While ``seq`` is implicit insertion order this is a single stable
-        argsort over the time column, and the sorted positions *are* the
-        permutation — they get materialised as the explicit ``seq`` column.
+        Exact-tie timestamps are real under deterministic networks (the
+        symmetric phases of a collective land several senders' payloads on
+        one receiver at the same instant), and *insertion* order for such
+        ties is an engine artefact: the partitioned parallel drain pushes
+        barrier-injected remote arrivals after locally scheduled ones, while
+        the single-process drains interleave them in global posting order.
+        Breaking ties by the packed ``meta`` word (sender-major, then tag)
+        instead makes the canonical stream a pure function of the simulated
+        communication, identical across every engine.  The per-channel FIFO
+        clamp guarantees two same-sender records never share a timestamp
+        (the only exception — a fault-injected duplicate ghost — is bitwise
+        identical to its original, so its relative order is unobservable).
+        ``seq`` is then simply the canonical position, materialised as the
+        explicit ``seq`` column.
         """
         n = len(self.meta)
         times = np.frombuffer(self.time, dtype=np.float64)
@@ -206,10 +217,12 @@ class TraceColumns(Sequence):
             if n <= 1:
                 self._ensure_explicit_seq(n)
                 return
-            order = np.argsort(times, kind="stable")
+            metas = self._meta_np()
+            sizes = np.frombuffer(self.nbytes, dtype=np.int64)
+            order = np.lexsort((sizes, metas, times))
             self._reorder(order)
             self.seq = array("q")
-            self.seq.frombytes(order.astype(np.int64).tobytes())
+            self.seq.frombytes(np.arange(n, dtype=np.int64).tobytes())
         else:
             if n <= 1:
                 return

@@ -1,0 +1,216 @@
+"""Importer for DUMPI-style text trace dumps.
+
+Real MPI trace archives (the SST/DUMPI corpus, LANL's trace releases) are
+commonly distributed as one-call-per-line text dumps.  This module parses a
+minimal DUMPI-like dialect into the same per-rank *logical receive* records
+the native v2 columnar format (:mod:`repro.trace.io`) yields, so
+``workload="replay:file=trace.dumpi"`` and ``replay:file=trace.jsonl`` feed
+the identical replay pipeline.
+
+Format
+------
+One event per line::
+
+    <rank> <time> <MPI_Call> key=value [key=value ...]
+
+* ``rank`` — integer rank the call was made on.
+* ``time`` — seconds since trace start (float).
+* ``MPI_Call`` — the call name; must start with ``MPI_``.
+
+Recognised calls:
+
+* ``MPI_Recv`` / ``MPI_Irecv`` — **required**: ``src=``, ``tag=``,
+  ``bytes=``.  These become the replayed logical receive records.
+* ``MPI_Send`` / ``MPI_Isend`` — **required**: ``dest=``, ``tag=``,
+  ``bytes=``.  Validated but otherwise ignored: the replay reconstructs the
+  send side from the receivers' logical records (see
+  :mod:`repro.workloads.replay`), so send lines only widen the known rank
+  set.
+* Any other ``MPI_*`` call (waits, barriers, collectives already flattened
+  by the dumper) is skipped.
+
+Non-event lines:
+
+* blank lines and ``#`` comments are ignored;
+* an optional ``meta nprocs N`` header pins the process count (otherwise it
+  is inferred as ``max rank seen + 1``).
+
+Every syntax or consistency error raises :class:`DumpiParseError` carrying
+the 1-based line number, so malformed or truncated inputs fail with a
+pointed message instead of replaying garbage.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.trace.columns import META_FIELD_LIMIT
+
+__all__ = ["DumpiParseError", "DumpiEvent", "load_dumpi", "parse_dumpi"]
+
+
+class DumpiParseError(ValueError):
+    """A malformed DUMPI input line (carries the 1-based line number)."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+class DumpiEvent(tuple):
+    """One logical receive record: ``(sender, nbytes, tag, kind_code, time, seq)``.
+
+    A plain tuple subclass with named accessors — the replay layer consumes
+    these positionally, identical to the v2 columnar field order
+    (:data:`repro.trace.io._COLUMN_FIELDS` minus the receiver, which keys
+    the per-rank mapping).
+    """
+
+    __slots__ = ()
+
+    @property
+    def sender(self) -> int:
+        return self[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self[1]
+
+    @property
+    def tag(self) -> int:
+        return self[2]
+
+    @property
+    def kind_code(self) -> int:
+        return self[3]
+
+    @property
+    def time(self) -> float:
+        return self[4]
+
+    @property
+    def seq(self) -> int:
+        return self[5]
+
+
+_RECV_CALLS = frozenset({"MPI_Recv", "MPI_Irecv"})
+_SEND_CALLS = frozenset({"MPI_Send", "MPI_Isend"})
+
+
+def _parse_int(raw: str, field: str, line_number: int) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise DumpiParseError(line_number, f"{field}={raw!r} is not an integer") from None
+    if value < 0:
+        raise DumpiParseError(line_number, f"{field}={value} must be non-negative")
+    return value
+
+
+def _parse_kv(tokens: list[str], line_number: int) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for token in tokens:
+        key, sep, value = token.partition("=")
+        if not sep or not key or not value:
+            raise DumpiParseError(
+                line_number, f"expected key=value argument, got {token!r}"
+            )
+        if key in fields:
+            raise DumpiParseError(line_number, f"duplicate argument {key!r}")
+        fields[key] = value
+    return fields
+
+
+def _require(fields: dict[str, str], keys: tuple[str, ...], call: str, line_number: int):
+    for key in keys:
+        if key not in fields:
+            raise DumpiParseError(line_number, f"{call} is missing required {key}= argument")
+
+
+def parse_dumpi(lines: Iterable[str]) -> tuple[int, dict[int, list[DumpiEvent]]]:
+    """Parse DUMPI text lines into ``(nprocs, receives_by_rank)``.
+
+    ``receives_by_rank`` maps each receiving rank to its logical receive
+    records in file order (``seq`` is the per-rank position).  Ranks that
+    only send appear in the process count but get no record list entry.
+    """
+    meta_nprocs: int | None = None
+    max_rank = -1
+    receives: dict[int, list[DumpiEvent]] = {}
+    saw_event = False
+    for line_number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if tokens[0] == "meta":
+            if saw_event:
+                raise DumpiParseError(line_number, "meta header after the first event")
+            if len(tokens) != 3 or tokens[1] != "nprocs":
+                raise DumpiParseError(
+                    line_number, f"unrecognised meta line {line!r} (expected 'meta nprocs N')"
+                )
+            meta_nprocs = _parse_int(tokens[2], "nprocs", line_number)
+            if meta_nprocs == 0:
+                raise DumpiParseError(line_number, "meta nprocs must be positive")
+            continue
+        if len(tokens) < 3:
+            raise DumpiParseError(
+                line_number,
+                f"truncated event line {line!r} (expected '<rank> <time> <MPI_Call> ...')",
+            )
+        rank = _parse_int(tokens[0], "rank", line_number)
+        try:
+            time = float(tokens[1])
+        except ValueError:
+            raise DumpiParseError(
+                line_number, f"time {tokens[1]!r} is not a number"
+            ) from None
+        if time < 0:
+            raise DumpiParseError(line_number, f"time {time} must be non-negative")
+        call = tokens[2]
+        if not call.startswith("MPI_"):
+            raise DumpiParseError(
+                line_number, f"call name {call!r} does not start with 'MPI_'"
+            )
+        saw_event = True
+        max_rank = max(max_rank, rank)
+        fields = _parse_kv(tokens[3:], line_number)
+        if call in _RECV_CALLS:
+            _require(fields, ("src", "tag", "bytes"), call, line_number)
+            src = _parse_int(fields["src"], "src", line_number)
+            tag = _parse_int(fields["tag"], "tag", line_number)
+            nbytes = _parse_int(fields["bytes"], "bytes", line_number)
+            if src >= META_FIELD_LIMIT or tag >= META_FIELD_LIMIT:
+                raise DumpiParseError(
+                    line_number,
+                    f"src={src} tag={tag} outside the trace meta range "
+                    f"[0, {META_FIELD_LIMIT})",
+                )
+            max_rank = max(max_rank, src)
+            records = receives.setdefault(rank, [])
+            records.append(DumpiEvent((src, nbytes, tag, 0, time, len(records))))
+        elif call in _SEND_CALLS:
+            _require(fields, ("dest", "tag", "bytes"), call, line_number)
+            dest = _parse_int(fields["dest"], "dest", line_number)
+            _parse_int(fields["tag"], "tag", line_number)
+            _parse_int(fields["bytes"], "bytes", line_number)
+            max_rank = max(max_rank, dest)
+        # Other MPI_* calls carry no replayable payload: skip.
+    if max_rank < 0:
+        raise DumpiParseError(1, "trace contains no events")
+    inferred = max_rank + 1
+    if meta_nprocs is not None:
+        if inferred > meta_nprocs:
+            raise DumpiParseError(
+                1, f"meta nprocs {meta_nprocs} but trace references rank {max_rank}"
+            )
+        return meta_nprocs, receives
+    return inferred, receives
+
+
+def load_dumpi(path: str | os.PathLike) -> tuple[int, dict[int, list[DumpiEvent]]]:
+    """Parse a DUMPI text file; see :func:`parse_dumpi`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_dumpi(handle)

@@ -29,10 +29,20 @@ not depend on operation results or random draws:
   ``prefetch_compute_noise = True``) marks the program dynamic;
 * inspecting a receive status, a request, or a waitall result marks it
   dynamic (the stand-ins raise on any interaction);
-* waiting on a strict subset of the outstanding requests marks it dynamic
-  (the op-array encoding only supports "wait for everything posted so far",
-  which is how every in-repo skeleton and collective behaves);
+* waiting on a *non-contiguous* subset of the outstanding requests marks it
+  dynamic: the op-array encoding supports "wait for everything posted so
+  far" (``OP_WAITALL``) and "wait for a contiguous slice in posting order"
+  (``OP_WAIT`` — what nonblocking-collective composites and partial waitalls
+  lower to), but not arbitrary subsets;
 * send payloads mark it dynamic (payload objects cannot live in a lane).
+
+Collectives — blocking and nonblocking, first-class
+:class:`repro.mpi.ops.CollectiveOp` yields included — are *macro-expanded*
+at compile time: the replay drives the same decomposition generator the
+engine's generator path uses (:func:`repro.mpi.collectives.decomposition_for`)
+and inlines its point-to-point operations into the flat lanes, so the
+compiled and generator paths execute the identical message sequence by
+construction and the engine drains need no collective-specific branches.
 
 A dynamic program is not an error: :func:`compile_program` returns ``None``
 and the caller runs the generator protocol instead.  Workloads can also opt
@@ -67,6 +77,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.mpi.collectives import decomposition_for
 from repro.mpi.communicator import Communicator, RankContext
 from repro.mpi.ops import (
     OP_COMPUTE,
@@ -74,7 +85,9 @@ from repro.mpi.ops import (
     OP_ISEND,
     OP_RECV,
     OP_SEND,
+    OP_WAIT,
     OP_WAITALL,
+    CollectiveOp,
     CompiledProgram,
     ComputeOp,
     IrecvOp,
@@ -85,8 +98,15 @@ from repro.mpi.ops import (
     WaitallOp,
     WaitOp,
 )
+from repro.mpi.request import CollectiveRequest
 
-__all__ = ["NotCompilable", "compile_program", "compile_rank_lanes", "clear_schedule_cache"]
+__all__ = [
+    "NotCompilable",
+    "compile_program",
+    "compile_rank_lanes",
+    "compile_info",
+    "clear_schedule_cache",
+]
 
 
 class NotCompilable(Exception):
@@ -180,6 +200,17 @@ def compile_rank_lanes(workload, rank: int) -> OpArrays | None:
     the communicator, exceptions in the program body — propagate, exactly as
     they would when the generator path first resumed the program.
     """
+    lanes, _reason = _replay(workload, rank)
+    return lanes
+
+
+def _replay(workload, rank: int) -> tuple[OpArrays | None, str | None]:
+    """Replay one rank program; returns ``(lanes, None)`` or ``(None, reason)``.
+
+    The reason string names why the schedule stays on the generator path —
+    surfaced through :func:`compile_info` the same way the parallel engine's
+    fallback reason lands in ``parallel_info``.
+    """
     rng = _CompileRNG()
     ctx = RankContext(
         rank=rank,
@@ -189,7 +220,8 @@ def compile_rank_lanes(workload, rank: int) -> OpArrays | None:
     )
     generator = workload.program(ctx)
     if not hasattr(generator, "send"):
-        return None
+        return None, "program factory did not return a generator"
+    size = workload.nprocs
     lanes = OpArrays()
     # The replay costs one generator traversal per cold compile; bound lane
     # appends keep that traversal close to the raw resumption cost.
@@ -200,15 +232,33 @@ def compile_rank_lanes(workload, rank: int) -> OpArrays | None:
     seconds_lane = lanes.seconds.append
     kind_lane = lanes.kind.append
     resume = generator.send
-    pending: list[_FakeRequest] = []
+    # Pending entries are (token, transport_count): a plain nonblocking op
+    # contributes (fake request, 1); a nonblocking collective collapses its
+    # decomposition into one (CollectiveRequest, k) entry so waits can be
+    # matched against whichever handle the program actually holds.
+    pending: list[tuple[object, int]] = []
+    # Suspended outer frames during collective macro-expansion: (resume,
+    # pending length at macro entry).
+    gen_stack: list[tuple] = []
     value = None
     draws_seen = 0
     try:
         while True:
             try:
                 operation = resume(value)
-            except StopIteration:
-                break
+            except StopIteration as stop:
+                if not gen_stack:
+                    break
+                # A collective decomposition finished: resume the program
+                # with its return value, exactly like ``yield from`` would.
+                resume, mark = gen_stack.pop()
+                result = stop.value
+                if isinstance(result, CollectiveRequest):
+                    count = sum(entry[1] for entry in pending[mark:])
+                    del pending[mark:]
+                    pending.append((result, count))
+                value = result
+                continue
             noise_used = rng.noise_draws - draws_seen
             draws_seen = rng.noise_draws
             cls = operation.__class__
@@ -236,7 +286,7 @@ def compile_rank_lanes(workload, rank: int) -> OpArrays | None:
                 kind_lane(operation.kind)
                 if cls is IsendOp:
                     value = _FakeRequest()
-                    pending.append(value)
+                    pending.append((value, 1))
             elif cls is IrecvOp or cls is RecvOp:
                 op_lane(OP_IRECV if cls is IrecvOp else OP_RECV)
                 a_lane(operation.source)
@@ -246,45 +296,70 @@ def compile_rank_lanes(workload, rank: int) -> OpArrays | None:
                 kind_lane(operation.kind)
                 if cls is IrecvOp:
                     value = _FakeRequest()
-                    pending.append(value)
+                    pending.append((value, 1))
                 else:
                     value = _OPAQUE
-            elif cls is WaitallOp:
-                requests = list(operation.requests)
-                if len(requests) != len(pending) or set(map(id, requests)) != set(
-                    map(id, pending)
-                ):
-                    raise NotCompilable("waitall on a strict subset of pending requests")
-                op_lane(OP_WAITALL)
-                a_lane(len(requests))
-                nbytes_lane(0)
-                tag_lane(0)
-                seconds_lane(0.0)
-                kind_lane(None)
-                pending.clear()
+            elif cls is WaitallOp or cls is WaitOp:
+                if cls is WaitOp:
+                    requests = [operation.request]
+                else:
+                    requests = list(operation.requests)
+                positions = {
+                    id(token): index for index, (token, _count) in enumerate(pending)
+                }
+                if len(requests) == len(pending) and {
+                    id(request) for request in requests
+                } == set(positions):
+                    # The full pending set: the classic OP_WAITALL encoding
+                    # (``a`` counts underlying transport requests).
+                    op_lane(OP_WAITALL)
+                    a_lane(sum(entry[1] for entry in pending))
+                    nbytes_lane(0)
+                    tag_lane(0)
+                    seconds_lane(0.0)
+                    kind_lane(None)
+                    pending.clear()
+                else:
+                    try:
+                        covered = sorted(positions[id(request)] for request in requests)
+                    except KeyError:
+                        raise NotCompilable(
+                            "wait on an unknown or already-waited request"
+                        ) from None
+                    if len(set(covered)) != len(requests):
+                        raise NotCompilable("wait lists a request twice")
+                    if covered and covered != list(range(covered[0], covered[-1] + 1)):
+                        raise NotCompilable(
+                            "wait on a non-contiguous subset of pending requests"
+                        )
+                    start = covered[0] if covered else 0
+                    stop_index = covered[-1] + 1 if covered else 0
+                    offset = sum(entry[1] for entry in pending[:start])
+                    count = sum(entry[1] for entry in pending[start:stop_index])
+                    op_lane(OP_WAIT)
+                    a_lane(offset)
+                    nbytes_lane(count)
+                    tag_lane(0)
+                    seconds_lane(0.0)
+                    kind_lane(None)
+                    del pending[start:stop_index]
                 value = _OPAQUE
-            elif cls is WaitOp:
-                if len(pending) != 1 or operation.request is not pending[0]:
-                    raise NotCompilable("wait on a strict subset of pending requests")
-                op_lane(OP_WAITALL)
-                a_lane(1)
-                nbytes_lane(0)
-                tag_lane(0)
-                seconds_lane(0.0)
-                kind_lane(None)
-                pending.clear()
-                value = _OPAQUE
+            elif isinstance(operation, CollectiveOp):
+                # Macro-expand: inline the decomposition's point-to-point ops
+                # into the flat lanes, driving it with the same stand-ins.
+                gen_stack.append((resume, len(pending)))
+                resume = decomposition_for(operation, rank, size).send
             else:
                 raise NotCompilable(f"unsupported operation type {cls.__name__}")
-    except NotCompilable:
-        return None
+    except NotCompilable as exc:
+        return None, str(exc)
     finally:
         generator.close()
     if pending:
         # Requests leaked past program end; the generator path would leave
         # them dangling too, but the encoding has no way to express it.
-        return None
-    return lanes
+        return None, "requests leaked past program end"
+    return lanes, None
 
 
 # ----------------------------------------------------------------------
@@ -302,7 +377,7 @@ _CACHE_MAX_KEYS = 16
 #: bigger than the whole budget is never cached at all.
 _CACHE_MAX_OPS = 1 << 21
 
-_cache: OrderedDict[tuple, dict[int, OpArrays | None]] = OrderedDict()
+_cache: OrderedDict[tuple, dict[int, tuple[OpArrays | None, str | None]]] = OrderedDict()
 
 
 def clear_schedule_cache() -> None:
@@ -313,11 +388,58 @@ def clear_schedule_cache() -> None:
 def _cached_ops_total() -> int:
     """Total lane entries currently held by the cache (cheap: <= 16 keys)."""
     return sum(
-        len(lanes)
+        len(entry[0])
         for per_rank in _cache.values()
-        for lanes in per_rank.values()
-        if lanes is not None
+        for entry in per_rank.values()
+        if entry[0] is not None
     )
+
+
+def _replay_cached(workload, rank: int) -> tuple[OpArrays | None, str | None]:
+    """:func:`_replay` behind the LRU schedule cache (reason cached too)."""
+    key = workload.schedule_cache_key()
+    if key is None:
+        return _replay(workload, rank)
+    per_rank = _cache.get(key)
+    if per_rank is None:
+        per_rank = {}
+    else:
+        _cache.move_to_end(key)
+    if rank in per_rank:
+        return per_rank[rank]
+    entry = _replay(workload, rank)
+    lanes = entry[0]
+    if lanes is None or len(lanes) <= _CACHE_MAX_OPS:
+        per_rank[rank] = entry
+        _cache[key] = per_rank
+        _cache.move_to_end(key)
+        while len(_cache) > _CACHE_MAX_KEYS or (
+            len(_cache) > 1 and _cached_ops_total() > _CACHE_MAX_OPS
+        ):
+            _cache.popitem(last=False)
+    return entry
+
+
+def compile_info(workload, rank: int) -> dict:
+    """Whether ``rank``'s schedule takes the fast lane, and if not, why.
+
+    Mirrors the parallel engine's ``parallel_info`` contract: an engaged
+    fast lane reports its size, an ineligible one reports an explicit
+    ``"fallback"`` reason instead of silently degrading.  Purely
+    informational — the decision itself is made identically (and
+    independently) by :func:`compile_program`.
+    """
+    if not workload.compile_supported:
+        return {"compiled": False, "fallback": "workload opts out (compile_supported=False)"}
+    if not workload.prefetch_compute_noise:
+        return {
+            "compiled": False,
+            "fallback": "compute-noise prefetch disabled (RNG order is schedule-dependent)",
+        }
+    lanes, reason = _replay_cached(workload, rank)
+    if lanes is None:
+        return {"compiled": False, "fallback": reason}
+    return {"compiled": True, "ops": len(lanes)}
 
 
 def compile_program(workload, ctx: RankContext) -> CompiledProgram | None:
@@ -328,27 +450,7 @@ def compile_program(workload, ctx: RankContext) -> CompiledProgram | None:
     """
     if not workload.compile_supported or not workload.prefetch_compute_noise:
         return None
-    key = workload.schedule_cache_key()
-    if key is None:
-        lanes = compile_rank_lanes(workload, ctx.rank)
-    else:
-        per_rank = _cache.get(key)
-        if per_rank is None:
-            per_rank = {}
-        else:
-            _cache.move_to_end(key)
-        if ctx.rank in per_rank:
-            lanes = per_rank[ctx.rank]
-        else:
-            lanes = compile_rank_lanes(workload, ctx.rank)
-            if lanes is None or len(lanes) <= _CACHE_MAX_OPS:
-                per_rank[ctx.rank] = lanes
-                _cache[key] = per_rank
-                _cache.move_to_end(key)
-                while len(_cache) > _CACHE_MAX_KEYS or (
-                    len(_cache) > 1 and _cached_ops_total() > _CACHE_MAX_OPS
-                ):
-                    _cache.popitem(last=False)
+    lanes, _reason = _replay_cached(workload, ctx.rank)
     if lanes is None:
         return None
     return CompiledProgram(

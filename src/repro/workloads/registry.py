@@ -9,8 +9,10 @@ from repro.workloads.bt import BTWorkload
 from repro.workloads.cg import CGWorkload
 from repro.workloads.is_sort import ISWorkload
 from repro.workloads.lu import LUWorkload
+from repro.workloads.replay import ReplayWorkload
 from repro.workloads.sweep3d import Sweep3DWorkload
 from repro.workloads.synthetic import (
+    CollectiveMixWorkload,
     CollectiveStormWorkload,
     PeriodicPatternWorkload,
     RandomSenderWorkload,
@@ -44,6 +46,8 @@ WORKLOAD_CLASSES: dict[str, type[Workload]] = {
         RingExchangeWorkload,
         RandomSenderWorkload,
         CollectiveStormWorkload,
+        CollectiveMixWorkload,
+        ReplayWorkload,
     )
 }
 

@@ -14,6 +14,10 @@ the simulator and the predictor in isolation:
   pins down the predictor's behaviour on noise.
 * :class:`CollectiveStormWorkload` — repeated alltoall/allreduce fan-in used
   by the flow-control and credit experiments.
+* :class:`CollectiveMixWorkload` — one of every collective flavour (blocking,
+  nonblocking, rooted, vector, barrier) interleaved with point-to-point
+  traffic; the coverage workload for the compiled-collective equivalence
+  matrix.
 
 All of these except :class:`RandomSenderWorkload` have statically known
 per-rank schedules and run through the op-array fast lane
@@ -36,11 +40,13 @@ __all__ = [
     "RingExchangeWorkload",
     "RandomSenderWorkload",
     "CollectiveStormWorkload",
+    "CollectiveMixWorkload",
 ]
 
 _TAG_PATTERN = 60
 _TAG_RING = 61
 _TAG_RANDOM = 62
+_TAG_MIX = 63
 
 
 class PeriodicPatternWorkload(Workload):
@@ -204,5 +210,69 @@ class CollectiveStormWorkload(Workload):
         comm = ctx.comm
         for _iteration in range(self.iterations):
             yield self.compute(ctx, 1.0)
-            yield from comm.alltoall(self.block_bytes)
-            yield from comm.allreduce(64)
+            # First-class collective ops: the engine (or the compiler's
+            # macro-expansion) runs the identical decomposition — and draws
+            # the identical tags — that ``yield from comm.alltoall(...)`` /
+            # ``comm.allreduce(...)`` would.
+            yield comm.alltoall_op(self.block_bytes)
+            yield comm.allreduce_op(64)
+
+
+class CollectiveMixWorkload(Workload):
+    """One of every collective flavour, interleaved with point-to-point traffic.
+
+    Each iteration runs the full first-class collective surface — broadcast,
+    reduce, allreduce, gather, scatter, allgather, alltoallv, barrier — plus
+    both nonblocking collectives (``ialltoall``, ``iallgather``).  The
+    nonblocking alltoall is posted *after* a pair of outstanding
+    point-to-point requests and waited on first, so its wait covers a
+    contiguous slice at a nonzero offset of the pending list: the pattern
+    that exercises the compiler's ``OP_WAIT`` lowering (a plain trailing
+    composite would lower to offset 0).
+    """
+
+    name = "collective-mix"
+
+    def __init__(self, nprocs: int, block_bytes: int = 4 * 1024, **kwargs) -> None:
+        if block_bytes <= 0:
+            raise ValueError(f"block_bytes must be positive, got {block_bytes}")
+        self.block_bytes = int(block_bytes)
+        super().__init__(nprocs, **kwargs)
+
+    def default_iterations(self) -> int:
+        return 10
+
+    def validate(self) -> None:
+        if self.nprocs < 2:
+            raise ValueError("CollectiveMixWorkload needs at least 2 ranks")
+
+    def parameters(self) -> dict:
+        return {"block_bytes": self.block_bytes}
+
+    def program(self, ctx: RankContext) -> Generator[Operation, object, None]:
+        comm = ctx.comm
+        nbytes = self.block_bytes
+        right = (ctx.rank + 1) % self.nprocs
+        left = (ctx.rank - 1) % self.nprocs
+        varied = [nbytes * (1 + (d % 2)) for d in range(self.nprocs)]
+        for _iteration in range(self.iterations):
+            yield self.compute(ctx, 1.0)
+            # Rooted + unrooted blocking collectives.
+            yield comm.bcast_op(nbytes, root=0)
+            yield comm.reduce_op(nbytes, root=0)
+            yield comm.allreduce_op(64)
+            yield comm.gather_op(nbytes // 2, root=0)
+            yield comm.scatter_op(nbytes // 2, root=0)
+            yield comm.allgather_op(nbytes // 4)
+            yield comm.alltoallv_op(varied)
+            # Outstanding p2p requests, *then* a nonblocking collective: the
+            # collective's wait covers pending[2:], a nonzero-offset slice.
+            recv_req = yield comm.irecv(left, tag=_TAG_MIX)
+            send_req = yield comm.isend(right, 128, tag=_TAG_MIX)
+            coll = yield comm.ialltoall(nbytes)
+            yield comm.wait(coll)
+            yield comm.waitall([recv_req, send_req])
+            # Trailing nonblocking collective waited on alone (offset 0).
+            gath = yield comm.iallgather(nbytes // 4)
+            yield comm.wait(gath)
+            yield comm.barrier_op()

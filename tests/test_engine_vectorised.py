@@ -10,6 +10,8 @@ sharded over worker processes must behave identically under an engine
 override.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.scenario import Scenario, ScenarioSpec, Sweep, WorkloadSpec
@@ -23,6 +25,9 @@ try:
 except ImportError:  # pragma: no cover - hypothesis is a dev dependency
     HAVE_HYPOTHESIS = False
 
+#: The committed sample trace (also the CLI quickstart's replay input).
+SAMPLE_TRACE = str(Path(__file__).resolve().parent.parent / "examples" / "sample_trace.jsonl")
+
 #: (workload, nprocs, extra kwargs) — the full registry at smoke scales.
 REGISTRY_CELLS = [
     ("bt", 9, {"scale": 0.03}),
@@ -34,6 +39,8 @@ REGISTRY_CELLS = [
     ("ring-exchange", 4, {"scale": 0.2}),
     ("random-sender", 4, {"messages_per_rank": 10}),
     ("collective-storm", 4, {"scale": 0.2}),
+    ("collective-mix", 4, {"scale": 0.2}),
+    ("replay", 4, {"file": SAMPLE_TRACE}),
 ]
 
 #: Policy shorthands (the spec layer builds a fresh instance per run).
@@ -202,6 +209,7 @@ class TestParallelEquivalence:
         assert info["partitions"] == 3
         assert info["windows"] > 0
         assert info["lookahead"] == pytest.approx(25e-6)
+        assert info["engine_jobs"] == 3
 
     def test_default_network_falls_back_with_reason(self):
         # Jitter makes arrival computation order-sensitive across partitions,
@@ -230,6 +238,73 @@ class TestParallelEquivalence:
             engine="parallel", network=PARALLEL_NETWORK, engine_jobs=1,
         )
         assert "fallback" in result.parallel_info
+
+
+class TestEngineJobsAuto:
+    """engine_jobs=0 auto-tunes to the machine's CPU count."""
+
+    def test_zero_resolves_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        result = run_cell(
+            "bt", 9, {"scale": 0.03}, "standard", None,
+            engine="parallel", network=PARALLEL_NETWORK, engine_jobs=0,
+        )
+        info = result.parallel_info
+        assert "fallback" not in info
+        assert info["engine_jobs"] == 3
+        assert info["partitions"] == 3
+
+    def test_resolved_value_lands_in_fallback_info_too(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        # One CPU resolves to one worker: ineligible, and the info says so
+        # with the *resolved* count, not the 0 sentinel.
+        result = run_cell(
+            "bt", 9, {"scale": 0.03}, "standard", None,
+            engine="parallel", network=PARALLEL_NETWORK, engine_jobs=0,
+        )
+        info = result.parallel_info
+        assert "fallback" in info
+        assert info["engine_jobs"] == 1
+
+    def test_negative_engine_jobs_rejected(self):
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(ValueError, match="engine_jobs"):
+            Simulator(nprocs=2, engine_jobs=-1)
+        with pytest.raises(ValueError, match="engine_jobs"):
+            ScenarioSpec(workload="bt.4", engine_jobs=-1)
+
+    def test_auto_resolution_is_bit_identical(self, monkeypatch):
+        import os
+
+        baseline = _baseline("bt", 9, {"scale": 0.03}, None)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        auto = run_cell(
+            "bt", 9, {"scale": 0.03}, "standard", None,
+            engine="parallel", network=PARALLEL_NETWORK, engine_jobs=0,
+        )
+        assert fingerprint(auto) == baseline
+
+    def test_sweep_pool_caps_for_auto_jobs(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        sweep = Sweep(
+            base={
+                "workload": "bt.4:scale=0.03",
+                "seed": 17,
+                "network": PARALLEL_NETWORK,
+            },
+            cells=[{}, {"seed": 18}],
+        )
+        with pytest.warns(RuntimeWarning, match="oversubscribe"):
+            outcomes = sweep.run_all(jobs=2, engine="parallel", engine_jobs=0)
+        assert len(outcomes) == 2
+        assert all(not isinstance(o, Exception) for o in outcomes)
 
 
 @pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
@@ -272,6 +347,7 @@ class TestParallelPartitionProperty:
             "partitions": len(blocks),
             "windows": parallel.parallel_info["windows"],
             "lookahead": 25e-6,
+            "engine_jobs": len(blocks),
         }
         assert fingerprint(parallel) == fingerprint(run("vectorised"))
 

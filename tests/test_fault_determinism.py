@@ -11,6 +11,8 @@ flow-control policies:
   run sequentially or sharded over a process pool.
 """
 
+from pathlib import Path
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -19,6 +21,16 @@ from repro.scenario import Scenario, ScenarioSpec, Sweep, cell_record
 from repro.workloads.registry import workload_names
 
 POLICIES = ["standard", "always-rendezvous", "predictive-credits", "predictive-buffers"]
+
+#: The committed sample trace — trace replay has no generator of its own.
+SAMPLE_TRACE = str(Path(__file__).resolve().parent.parent / "examples" / "sample_trace.jsonl")
+
+
+def _workload_table(name):
+    """A smoke-scale spec table for any registry workload."""
+    if name == "replay":
+        return {"name": name, "nprocs": 4, "params": {"file": SAMPLE_TRACE}}
+    return {"name": name, "nprocs": 4, "scale": 0.02}
 
 #: Explicitly zero-rate (rather than the default "none" preset) so the
 #: equivalence test exercises the is_null path, not spec equality.
@@ -41,7 +53,7 @@ def _fingerprint(result):
 @pytest.mark.parametrize("workload", workload_names())
 def test_zero_rate_faults_bit_identical_to_baseline(workload, policy):
     base = dict(
-        workload={"name": workload, "nprocs": 4, "scale": 0.02},
+        workload=_workload_table(workload),
         seed=2003,
         policy=policy,
     )

@@ -50,7 +50,20 @@ class TestColumnsAgreeWithRecordLists:
 
         trace.sort()
         reference_logical.sort(key=lambda r: r.seq)
-        reference_physical = sorted(reference_logical, key=lambda r: (r.time, r.seq))
+        # Physical order is canonical: (time, sender, tag, kind, nbytes),
+        # with seq re-materialised as the canonical position — engine- and
+        # insertion-order-independent (see TraceColumns.sort_by_arrival).
+        reference_physical = [
+            record._replace(seq=position)
+            for position, record in enumerate(
+                sorted(
+                    reference_logical,
+                    key=lambda r: (
+                        r.time, r.sender, r.tag, r.kind == "collective", r.nbytes
+                    ),
+                )
+            )
+        ]
         assert list(trace.logical) == reference_logical
         assert list(trace.physical) == reference_physical
         assert trace.logical == reference_logical  # sequence equality protocol

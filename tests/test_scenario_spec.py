@@ -67,9 +67,14 @@ class TestWorkloadSpec:
         with pytest.raises(ValueError, match="nprocs twice"):
             WorkloadSpec.from_shorthand("bt.9:nprocs=4")
 
-    def test_missing_nprocs_rejected(self):
+    def test_missing_nprocs_rejected_at_build(self):
+        # A bare name parses to the nprocs=0 sentinel (trace replay resolves
+        # it from the file); workloads needing a real count reject it at
+        # build time instead of parse time.
+        spec = WorkloadSpec.from_shorthand("bt")
+        assert spec.nprocs == 0
         with pytest.raises(ValueError, match="nprocs"):
-            WorkloadSpec.from_shorthand("bt")
+            spec.build()
 
     def test_build_uses_registry_and_defaults(self):
         workload = WorkloadSpec(name="bt", nprocs=9, scale=0.1).build()

@@ -108,9 +108,12 @@ class TestColumnarStore:
             kind = "collective" if i % 5 == 0 else "p2p"
             arrival = 1.0 - i * 0.01  # reverse time order: sort() must fix it
             tracer.on_message_arrival(0, sender, nbytes, tag=i % 2, kind=kind, time=arrival)
-            expected.append((sender, nbytes, i % 2, kind, arrival, i))
+            expected.append((sender, nbytes, i % 2, kind, arrival))
         trace = tracer.trace_for(0)
-        expected.sort(key=lambda t: (t[4], t[5]))
+        # Canonical physical order is (time, sender, tag); seq is the
+        # canonical stream position, not the insertion index.
+        expected.sort(key=lambda t: t[4])
+        expected = [rec + (pos,) for pos, rec in enumerate(expected)]
         assert [
             (r.sender, r.nbytes, r.tag, r.kind, r.time, r.seq) for r in trace.physical
         ] == expected
@@ -159,7 +162,8 @@ class TestColumnarStore:
         assert physical.tag_array().tolist() == [3, 7]
         assert physical.kind_code_array().tolist() == [0, 1]
         assert np.allclose(physical.time_array(), [0.25, 0.5])
-        assert physical.seq_array().tolist() == [1, 0]
+        # seq is the canonical (time-sorted) stream position.
+        assert physical.seq_array().tolist() == [0, 1]
 
 
 class TestTraceRecordsFromSimulation:

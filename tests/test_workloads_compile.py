@@ -16,6 +16,7 @@ from repro.mpi.ops import (
     OP_ISEND,
     OP_RECV,
     OP_SEND,
+    OP_WAIT,
     OP_WAITALL,
     CompiledProgram,
     IrecvOp,
@@ -28,10 +29,12 @@ from repro.util.rng import SeededRNG
 from repro.workloads.base import Workload
 from repro.workloads.compile import (
     clear_schedule_cache,
+    compile_info,
     compile_program,
     compile_rank_lanes,
 )
 from repro.workloads.registry import create_workload
+from repro.workloads.synthetic import CollectiveStormWorkload
 
 
 def make_ctx(workload, rank=0, seed=5):
@@ -134,7 +137,9 @@ class TestFallbacks:
 
         assert compile_rank_lanes(DrawsDirectly(nprocs=2), 0) is None
 
-    def test_partial_waitall_falls_back(self):
+    def test_partial_waitall_compiles_to_op_wait(self):
+        """A contiguous partial wait lowers to OP_WAIT (offset, count)."""
+
         class PartialWait(_StaticPingWorkload):
             def program(self, ctx):
                 if ctx.rank == 0:
@@ -146,8 +151,48 @@ class TestFallbacks:
                     yield SendOp(0, 64, 0)
                     yield SendOp(0, 64, 1)
 
-        assert compile_rank_lanes(PartialWait(nprocs=2), 0) is None
+        lanes = compile_rank_lanes(PartialWait(nprocs=2), 0)
+        assert lanes is not None
+        assert lanes.op == [OP_IRECV, OP_IRECV, OP_WAIT, OP_WAITALL]
+        # First wait covers pending[0:1]; the second drains the full set.
+        assert (lanes.a[2], lanes.nbytes[2]) == (0, 1)
+        assert lanes.a[3] == 1
         assert compile_rank_lanes(PartialWait(nprocs=2), 1) is not None
+
+    def test_noncontiguous_waitall_falls_back(self):
+        class NonContiguous(_StaticPingWorkload):
+            def program(self, ctx):
+                if ctx.rank == 0:
+                    first = yield IrecvOp(source=1, tag=0)
+                    second = yield IrecvOp(source=1, tag=1)
+                    third = yield IrecvOp(source=1, tag=2)
+                    yield WaitallOp([first, third])  # skips `second`
+                    yield WaitallOp([second])
+                else:
+                    for tag in range(3):
+                        yield SendOp(0, 64, tag)
+
+        assert compile_rank_lanes(NonContiguous(nprocs=2), 0) is None
+        assert compile_rank_lanes(NonContiguous(nprocs=2), 1) is not None
+        info = compile_info(NonContiguous(nprocs=2), 0)
+        assert info["compiled"] is False
+        assert "non-contiguous" in info["fallback"]
+
+    def test_duplicated_wait_request_falls_back(self):
+        class DoubleWait(_StaticPingWorkload):
+            def program(self, ctx):
+                if ctx.rank == 0:
+                    first = yield IrecvOp(source=1, tag=0)
+                    second = yield IrecvOp(source=1, tag=1)
+                    yield WaitallOp([first, first])
+                    yield WaitallOp([second])
+                else:
+                    yield SendOp(0, 64, 0)
+                    yield SendOp(0, 64, 1)
+
+        info = compile_info(DoubleWait(nprocs=2), 0)
+        assert info["compiled"] is False
+        assert "twice" in info["fallback"]
 
     def test_wait_on_sole_pending_request_compiles(self):
         class SingleWait(_StaticPingWorkload):
@@ -246,6 +291,67 @@ class TestFallbacks:
         lanes = compile_rank_lanes(Wildcard(nprocs=2), 0)
         assert lanes is not None
         assert lanes.a == [ANY_SOURCE, ANY_SOURCE]
+
+
+class _LegacyStorm(CollectiveStormWorkload):
+    """collective-storm spelled with ``yield from`` decomposition generators."""
+
+    def program(self, ctx):
+        comm = ctx.comm
+        for _iteration in range(self.iterations):
+            yield self.compute(ctx, 1.0)
+            yield from comm.alltoall(self.block_bytes)
+            yield from comm.allreduce(64)
+
+
+class TestCollectiveLowering:
+    """First-class collectives macro-expand into the same flat lanes."""
+
+    def test_first_class_ops_produce_identical_lanes_to_yield_from(self):
+        nprocs = 5
+        first_class = create_workload("collective-storm", nprocs=nprocs, iterations=3)
+        legacy = _LegacyStorm(nprocs=nprocs, iterations=3)
+        for rank in range(nprocs):
+            a = compile_rank_lanes(first_class, rank)
+            b = compile_rank_lanes(legacy, rank)
+            assert a is not None and b is not None
+            assert a.op == b.op, rank
+            assert a.a == b.a, rank
+            assert a.nbytes == b.nbytes, rank
+            assert a.tag == b.tag, rank
+            assert a.seconds == b.seconds, rank
+            assert a.kind == b.kind, rank
+
+    def test_runtime_lanes_never_contain_collective_codes(self):
+        """Macro-expansion is total: only scalar transport codes reach lanes."""
+        valid = {OP_COMPUTE, OP_SEND, OP_ISEND, OP_RECV, OP_IRECV, OP_WAIT, OP_WAITALL}
+        for nprocs in (2, 4, 5):
+            workload = create_workload("collective-mix", nprocs=nprocs, iterations=2)
+            for rank in range(nprocs):
+                lanes = compile_rank_lanes(workload, rank)
+                assert lanes is not None, (nprocs, rank)
+                assert set(lanes.op) <= valid, (nprocs, rank)
+
+    def test_nonblocking_collective_wait_uses_nonzero_offset(self):
+        """collective-mix waits on its composite behind two outstanding p2p
+        requests, so its first OP_WAIT must start at transport offset 2."""
+        workload = create_workload("collective-mix", nprocs=4, iterations=1)
+        lanes = compile_rank_lanes(workload, 0)
+        assert lanes is not None
+        offsets = [
+            (lanes.a[i], lanes.nbytes[i])
+            for i in range(len(lanes))
+            if lanes.op[i] == OP_WAIT
+        ]
+        # 6 = the ialltoall composite's 2 * (nprocs - 1) transport requests.
+        assert (2, 6) in offsets
+
+    def test_compile_info_reports_engagement_and_fallbacks(self):
+        compiled = compile_info(create_workload("collective-mix", nprocs=4), 0)
+        assert compiled["compiled"] is True and compiled["ops"] > 0
+        opted_out = compile_info(create_workload("random-sender", nprocs=4), 0)
+        assert opted_out["compiled"] is False
+        assert "compile_supported" in opted_out["fallback"]
 
 
 class TestScheduleCache:

@@ -9,6 +9,8 @@ mixed compiled/dynamic registries must still merge deterministically under
 the sharded experiment runner.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.experiments import ExperimentContext
@@ -24,6 +26,9 @@ from repro.workloads.compile import clear_schedule_cache
 from repro.workloads.registry import create_workload, workload_names
 from repro.workloads.runner import run_workload
 
+#: The committed sample trace (also the CLI quickstart's replay input).
+SAMPLE_TRACE = str(Path(__file__).resolve().parent.parent / "examples" / "sample_trace.jsonl")
+
 #: (workload, nprocs, extra kwargs) — the full registry at smoke scales.
 REGISTRY_CELLS = [
     ("bt", 9, {"scale": 0.03}),
@@ -35,6 +40,8 @@ REGISTRY_CELLS = [
     ("ring-exchange", 4, {"scale": 0.2}),
     ("random-sender", 4, {"messages_per_rank": 10}),
     ("collective-storm", 4, {"scale": 0.2}),
+    ("collective-mix", 4, {"scale": 0.2}),
+    ("replay", 4, {"file": SAMPLE_TRACE}),
 ]
 
 #: The four flow-control policies (fresh instance per run — they are stateful).
