@@ -744,3 +744,220 @@ class TestScaleMicrobenchmarks:
                 "events_per_sec": round(result.events_processed / mean, 1),
             }
         )
+
+
+# ---------------------------------------------------------------------------
+# Online prediction service (serve plane)
+# ---------------------------------------------------------------------------
+
+#: Serve bench predictor: a deliberately small periodicity pair (~4.4 KB per
+#: stream) so the million-stream row is about table mechanics, not ring sizes.
+_SERVE_SPEC = "periodicity:window=8,max_period=16,horizon=4"
+
+#: Per-shard LRU cap used by the cold-ingest rows (4 shards -> 16384 resident
+#: streams service-wide).  The 100k and 1M rows overflow it, so their resident
+#: bytes plateau at the same value — the memory-bound demonstration.
+_SERVE_MAX_STREAMS = 4096
+
+_SERVE_SHARDS = 4
+
+#: One stream's burst, shaped like a coalesced server drain (8 observes).
+_SERVE_SENDERS = [1, 2, 1, 3, 1, 2, 1, 3]
+_SERVE_SIZES = [256, 4096, 256, 65536, 256, 4096, 256, 65536]
+
+
+def _serve_service(**kwargs):
+    from repro.serve.service import ServeService
+
+    return ServeService(_SERVE_SPEC, num_shards=_SERVE_SHARDS, **kwargs)
+
+
+def _serve_cold_pass(service, streams):
+    """Single cold pass: each stream created once, fed one 8-event burst."""
+    senders, sizes = _SERVE_SENDERS, _SERVE_SIZES
+    for sid in range(streams):
+        key = f"s{sid}"
+        service.shard_for(key).observe_batch(key, senders, sizes)
+
+
+class TestServeMicrobenchmarks:
+    """Online prediction service ingest (``-k bench_serve`` selects these).
+
+    ``python -m repro bench --keyword bench_serve`` runs this suite and writes the
+    ``BENCH_serve.json`` perf-trajectory artefact.  The cold rows pour 10k /
+    100k / 1M **distinct** streams through a service whose per-shard LRU cap
+    holds 16384 streams resident service-wide: the 10k row fits, the larger
+    rows overflow, and their identical ``resident_bytes`` in ``extra_info``
+    is the memory plateau the stream table promises.  The warm row measures
+    steady-state burst ingest on resident streams; the wire row adds the
+    NDJSON decode; the offline row drives ``OnlineMessagePredictor``
+    directly — the no-serve-layer reference recorded as the artefact's
+    ``baseline`` section.
+
+    CI regenerates only the fast rows (``-k "bench_serve and not 1000000"``);
+    the million-stream row (~2 minutes) is produced locally.  Serve-vs-offline
+    bit-identity is enforced by ``tests/test_serve_equivalence.py``, not here.
+    """
+
+    @pytest.mark.parametrize("streams", [10_000, 100_000, 1_000_000])
+    def test_bench_serve_ingest_cold(self, benchmark, streams):
+        holder = {}
+
+        def setup():
+            holder["service"] = _serve_service(max_streams=_SERVE_MAX_STREAMS)
+            return (), {}
+
+        def ingest():
+            _serve_cold_pass(holder["service"], streams)
+
+        benchmark.pedantic(ingest, setup=setup, rounds=1, iterations=1)
+        stats = holder["service"].stats()
+        assert stats["observations"] == streams * len(_SERVE_SENDERS)
+        assert stats["streams"] <= _SERVE_MAX_STREAMS * _SERVE_SHARDS
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "streams": streams,
+                "events": stats["observations"],
+                "wall_s": round(mean, 4),
+                "events_per_sec": round(stats["observations"] / mean, 1),
+                "streams_per_sec": round(streams / mean, 1),
+                "resident_streams": stats["streams"],
+                "resident_bytes": stats["resident_bytes"],
+                "resident_bytes_per_stream": stats["resident_bytes_per_stream"],
+                "evictions": stats["evictions"],
+                "max_streams_per_shard": _SERVE_MAX_STREAMS,
+                "num_shards": _SERVE_SHARDS,
+            }
+        )
+
+    def test_bench_serve_ingest_warm(self, benchmark):
+        """Steady-state burst ingest: all streams resident, no churn."""
+        streams, rounds_per_run = 1024, 10
+        service = _serve_service()
+        senders = _SERVE_SENDERS * 4  # 32-event bursts
+        sizes = _SERVE_SIZES * 4
+        keys = [f"s{sid}" for sid in range(streams)]
+        shards = [service.shard_for(key) for key in keys]
+        for key, shard in zip(keys, shards):
+            shard.observe_batch(key, senders, sizes)  # warm every stream
+
+        def ingest():
+            for _ in range(rounds_per_run):
+                for key, shard in zip(keys, shards):
+                    shard.observe_batch(key, senders, sizes)
+
+        benchmark.pedantic(ingest, rounds=3, iterations=1)
+        events = rounds_per_run * streams * len(senders)
+        stats = service.stats()
+        assert stats["evictions"] == 0
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "streams": streams,
+                "events": events,
+                "burst": len(senders),
+                "wall_s": round(mean, 4),
+                "events_per_sec": round(events / mean, 1),
+                "resident_bytes": stats["resident_bytes"],
+                "resident_bytes_per_stream": stats["resident_bytes_per_stream"],
+            }
+        )
+
+    def test_bench_serve_ingest_wire(self, benchmark):
+        """The full wire path: NDJSON decode + validate + route + observe."""
+        streams, repeats = 2_000, 4
+        lines = []
+        for r in range(repeats):
+            for sid in range(streams):
+                for sender, nbytes in zip(_SERVE_SENDERS[:2], _SERVE_SIZES[:2]):
+                    lines.append(
+                        json.dumps(
+                            {"receiver": f"s{sid}", "sender": sender, "nbytes": nbytes}
+                        )
+                    )
+        holder = {}
+
+        def setup():
+            holder["service"] = _serve_service()
+            return (), {}
+
+        def ingest():
+            service = holder["service"]
+            for number, line in enumerate(lines, start=1):
+                service.handle_line(line, number)
+
+        benchmark.pedantic(ingest, setup=setup, rounds=3, iterations=1)
+        assert holder["service"].stats()["observations"] == len(lines)
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "streams": streams,
+                "events": len(lines),
+                "wall_s": round(mean, 4),
+                "events_per_sec": round(len(lines) / mean, 1),
+            }
+        )
+
+    def test_bench_serve_offline_direct(self, benchmark):
+        """No-serve-layer reference: the same feed straight into the
+        predictor (no routing, no LRU table, no accounting).  The committed
+        artefact records this row's rate as the ``baseline`` section, so the
+        serve layer's overhead stays readable across regenerations."""
+        from repro.predictive.online import OnlineMessagePredictor
+        from repro.scenario.spec import PredictorSpec
+
+        streams = 10_000
+        spec = PredictorSpec.coerce(_SERVE_SPEC)
+        holder = {}
+
+        def setup():
+            holder["predictor"] = OnlineMessagePredictor(
+                nprocs=streams, horizon=spec.horizon, predictor_factory=spec.factory()
+            )
+            return (), {}
+
+        def ingest():
+            predictor = holder["predictor"]
+            senders, sizes = _SERVE_SENDERS, _SERVE_SIZES
+            for slot in range(streams):
+                predictor.observe_batch(slot, senders, sizes)
+
+        benchmark.pedantic(ingest, setup=setup, rounds=1, iterations=1)
+        events = streams * len(_SERVE_SENDERS)
+        assert holder["predictor"].observations == events
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "streams": streams,
+                "events": events,
+                "wall_s": round(mean, 4),
+                "events_per_sec": round(events / mean, 1),
+                "streams_per_sec": round(streams / mean, 1),
+            }
+        )
+
+    def test_bench_serve_snapshot_roundtrip(self, benchmark, tmp_path):
+        """Snapshot + restore of a full service (4096 resident streams)."""
+        from repro.serve.service import ServeService
+
+        service = _serve_service()
+        _serve_cold_pass(service, 4_096)
+        target = tmp_path / "snap"
+
+        def roundtrip():
+            service.snapshot(target)
+            return ServeService.restore(target)
+
+        restored = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+        assert restored.stats()["streams"] == 4_096
+        snap_bytes = sum(p.stat().st_size for p in target.glob("shard-*.snap"))
+        mean = benchmark.stats.stats.mean
+        benchmark.extra_info.update(
+            {
+                "streams": 4_096,
+                "snapshot_bytes": snap_bytes,
+                "wall_s": round(mean, 4),
+                "mb_per_sec": round(snap_bytes / mean / 1e6, 1),
+            }
+        )

@@ -4,10 +4,15 @@
 The paper's predictor is designed to run *inside* the MPI library at runtime:
 it observes each received message and keeps a rolling prediction of the next
 few senders and sizes.  This example replays the message stream of one
-Sweep3D process through :class:`repro.predictive.online.OnlineMessagePredictor`
-and prints, at a few checkpoints, what the receiver would have pre-allocated
-or granted at that moment — the information the Section 2 runtime
-optimisations act on.
+Sweep3D process through the **serve plane** (`repro.serve` — the same
+ingestion path `python -m repro serve` exposes over TCP, driven in-process
+here), prints what the receiver would have pre-allocated or granted at a few
+checkpoints, and keeps the original inline
+:class:`repro.predictive.online.OnlineMessagePredictor` drive alongside as a
+comparison: the serve path's answers are asserted bit-identical to the
+inline predictor's at every checkpoint.  It closes by showing how malformed
+event lines are rejected — a pointed, line-numbered error in the style of
+the DUMPI importer, never silent stream pollution.
 
 Run with::
 
@@ -20,9 +25,11 @@ at a tiny scale.)
 from __future__ import annotations
 
 import argparse
+import json
 
 from repro import Scenario
 from repro.predictive import OnlineMessagePredictor
+from repro.serve import ServeProtocolError, ServeService
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -41,28 +48,41 @@ def main(argv: list[str] | None = None) -> None:
     records = result.records("physical")
     print(f"replaying {len(records)} messages received by process {rank} of sw.16\n")
 
-    predictor = OnlineMessagePredictor(nprocs=result.workload.nprocs, horizon=5)
+    # The serve path: NDJSON observe events through the same code that backs
+    # `python -m repro serve` (2 shards to exercise the routing too).
+    service = ServeService("periodicity:horizon=5", num_shards=2)
+    key = f"rank-{rank}"
+
+    # The original inline drive, kept as the comparison reference.
+    inline = OnlineMessagePredictor(nprocs=result.workload.nprocs, horizon=5)
+
     checkpoints = {50, 200, 500, len(records) - 1}
     correct_next_sender = 0
     evaluated = 0
 
     for index, record in enumerate(records):
         # Score the +1 sender prediction made *before* seeing this message.
-        predicted = predictor.predict(rank, horizon=1)[0]
+        predicted = inline.predict(rank, horizon=1)[0]
         if predicted.sender is not None:
             evaluated += 1
             if predicted.sender == record.sender:
                 correct_next_sender += 1
 
-        predictor.observe(rank, record.sender, record.nbytes)
+        line = json.dumps(
+            {"receiver": key, "sender": record.sender, "nbytes": record.nbytes}
+        )
+        service.handle_line(line, line_number=index + 1)
+        inline.observe(rank, record.sender, record.nbytes)
 
         if index in checkpoints:
-            expectations = predictor.predict(rank)
+            expectations = service.predict(key)
+            # Serve vs offline bit-identity, live at every checkpoint.
+            assert expectations == inline.predict(rank), "serve path diverged!"
             expected = ", ".join(
                 f"(from {p.sender}, {p.nbytes} B)" if p.complete else "(unknown)"
                 for p in expectations
             )
-            senders = sorted(predictor.predicted_senders(rank))
+            senders = sorted({p.sender for p in expectations if p.sender is not None})
             print(f"after message {index + 1}:")
             print(f"  next five expected messages: {expected}")
             print(f"  eager buffers the receiver would keep: ranks {senders}")
@@ -73,6 +93,21 @@ def main(argv: list[str] | None = None) -> None:
         f"online +1 sender prediction: {correct_next_sender}/{evaluated} correct "
         f"({rate:.1f}%) over the whole run"
     )
+    stats = service.stats()
+    print(
+        f"serve plane: {stats['streams']} resident stream(s), "
+        f"{stats['observations']} observations, "
+        f"{stats['resident_bytes'] / 1e3:.1f} KB resident — "
+        "answers bit-identical to the inline predictor at every checkpoint"
+    )
+
+    # Garbage on the wire is rejected with a line-numbered error (the
+    # DumpiParseError discipline), never folded into stream state.
+    try:
+        service.handle_line('{"receiver": "rank-0", "sender": -3, "nbytes": 1}', 9001)
+    except ServeProtocolError as error:
+        print(f"malformed event line rejected: {error}")
+    assert service.stats()["observations"] == stats["observations"]
 
 
 if __name__ == "__main__":

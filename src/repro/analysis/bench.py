@@ -17,12 +17,15 @@ Five perf trajectories are tracked:
   protocol, end to end (``python -m repro bench --keyword feed``);
 * ``BENCH_scale.json`` — the scalar-vs-vectorised engine scaling curves
   (bt/lu/sweep3d at 64-4096 ranks; ``python -m repro bench
-  --keyword scale``).
+  --keyword scale``);
+* ``BENCH_serve.json`` — the online prediction service's ingest
+  throughput and resident bytes per stream at 10k/100k/1M streams
+  (``python -m repro bench --keyword bench_serve``).
 
 When no explicit ``--output`` is given, the artefact name is derived from
-the keyword (any keyword mentioning ``scale`` writes ``BENCH_scale.json``,
-``feed`` writes ``BENCH_feed.json``, ``trace`` writes ``BENCH_trace.json``,
-``sim`` writes ``BENCH_sim.json``).
+the keyword (any keyword mentioning ``serve`` writes ``BENCH_serve.json``,
+``scale`` writes ``BENCH_scale.json``, ``feed`` writes ``BENCH_feed.json``,
+``trace`` writes ``BENCH_trace.json``, ``sim`` writes ``BENCH_sim.json``).
 
 Benchmarks may attach domain metrics through pytest-benchmark's
 ``extra_info`` mechanism (the scaling suite records processed events and
@@ -69,9 +72,18 @@ FEED_KEYWORD = "feed"
 #: cohort dispatch; every benchmark has ``scale`` in its name).
 SCALE_KEYWORD = "scale"
 
+#: ``-k`` selector for the online prediction service benchmarks (sharded
+#: ingest + LRU stream tables).  Every serve benchmark's name starts with
+#: ``test_bench_serve``; the selector is ``bench_serve`` rather than plain
+#: ``serve`` because ``serve`` is a substring of ``observe`` and would drag
+#: the predictor observe benchmarks in.
+SERVE_KEYWORD = "bench_serve"
+
 
 def default_output_for(keyword: str) -> str:
     """The perf-trajectory artefact a keyword's results belong in."""
+    if "serve" in keyword:
+        return "BENCH_serve.json"
     if "scale" in keyword:
         return "BENCH_scale.json"
     if "feed" in keyword:

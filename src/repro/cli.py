@@ -25,8 +25,15 @@ Commands
     (``--keyword sim``), ``BENCH_trace.json`` for the columnar trace
     data plane and sharded runner (``--keyword trace``),
     ``BENCH_feed.json`` for the op-array workload feed vs the generator
-    protocol (``--keyword feed``), or ``BENCH_scale.json`` for the
-    scalar-vs-vectorised engine scaling curves (``--keyword scale``).
+    protocol (``--keyword feed``), ``BENCH_scale.json`` for the
+    scalar-vs-vectorised engine scaling curves (``--keyword scale``), or
+    ``BENCH_serve.json`` for the online prediction service
+    (``--keyword bench_serve``).
+``serve``
+    Run the online prediction service: an asyncio TCP (or one-shot stdin)
+    front end hashing streams onto in-process shards, each a memory-bounded
+    LRU table of per-stream predictor state, with snapshot/restore.  See
+    :mod:`repro.serve` and ``docs/serving.md``.
 ``list``
     List the available workloads, paper configurations and registered
     scenario components; ``--json`` emits the same machine-readably (feeds
@@ -63,6 +70,8 @@ from repro.scenario import (
     load_sweep,
     sweep_accuracy_table,
 )
+from repro.serve.protocol import OPS as SERVE_OPS
+from repro.serve.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
 from repro.sim.registry import FAULT_PRESETS, MACHINE_PRESETS, NETWORK_PRESETS
 from repro.trace.io import load_traces
 from repro.trace.streams import sender_stream, size_stream
@@ -243,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(BENCH_dpd.json for the predictor suite, BENCH_sim.json for "
         "--keyword sim, BENCH_trace.json for --keyword trace, "
         "BENCH_feed.json for --keyword feed, BENCH_scale.json for "
-        "--keyword scale)",
+        "--keyword scale, BENCH_serve.json for --keyword bench_serve)",
     )
     bench_cmd.add_argument("--bench-dir", type=str, default=None)
     bench_cmd.add_argument(
@@ -251,6 +260,70 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="pytest -k selector; e.g. 'sim' runs the simulation-engine suite",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the online prediction service (TCP or stdin)"
+    )
+    serve_cmd.add_argument(
+        "--predictor",
+        type=str,
+        default="periodicity",
+        metavar="KIND[:k=v,...]",
+        help="registry predictor spec served per stream, e.g. "
+        "'periodicity:window=24,max_period=256,horizon=5' (default: the "
+        "paper's periodicity predictor; see 'repro list')",
+    )
+    serve_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="in-process shards streams are hashed onto (default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--max-streams",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-shard LRU cap: evict the coldest streams beyond N resident "
+        "(default: unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="per-shard resident-bytes cap (estimate; default: unbounded)",
+    )
+    serve_cmd.add_argument("--host", type=str, default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=7077,
+        help="TCP listen port; 0 binds an ephemeral port (printed on stdout)",
+    )
+    serve_cmd.add_argument(
+        "--stdin",
+        action="store_true",
+        help="one-shot pipe mode: events on stdin, responses on stdout, "
+        "exit at EOF (no TCP listener)",
+    )
+    serve_cmd.add_argument(
+        "--restore",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="restore all shard state from a snapshot directory before "
+        "serving (--predictor/--shards/caps then come from the snapshot)",
+    )
+    serve_cmd.add_argument(
+        "--snapshot-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="snapshot all shards into DIR on shutdown (clients can also "
+        "snapshot any time with the 'snapshot' op)",
     )
 
     list_cmd = sub.add_parser(
@@ -555,6 +628,67 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeServer, run_stdin
+    from repro.serve.service import ServeService
+    from repro.serve.snapshot import SnapshotError
+
+    try:
+        if args.restore:
+            service = ServeService.restore(args.restore)
+            print(
+                f"restored {service.num_shards} shards "
+                f"({service.stats()['streams']} streams) from {args.restore}",
+                file=sys.stderr,
+            )
+        else:
+            service = ServeService(
+                args.predictor,
+                num_shards=args.shards,
+                max_streams=args.max_streams,
+                max_bytes=args.max_bytes,
+            )
+    except (SnapshotError, KeyError, TypeError, ValueError) as error:
+        print(f"cannot build the serve service: {error}", file=sys.stderr)
+        return 2
+
+    def final_snapshot() -> None:
+        if args.snapshot_dir:
+            manifest = service.snapshot(args.snapshot_dir)
+            print(
+                f"snapshotted {manifest['streams']} streams over "
+                f"{manifest['num_shards']} shards to {args.snapshot_dir}",
+                file=sys.stderr,
+            )
+
+    if args.stdin:
+        rejected = run_stdin(service, sys.stdin, sys.stdout)
+        if rejected:
+            print(f"rejected {rejected} malformed event lines", file=sys.stderr)
+        final_snapshot()
+        return 1 if rejected else 0
+
+    async def serve() -> None:
+        server = ServeServer(service, host=args.host, port=args.port)
+        await server.start()
+        # Parsed by scripts/CI to discover an ephemeral --port 0 binding.
+        print(f"serving on {args.host}:{server.port}", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            await server.stop()
+            raise
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("interrupted — shutting down", file=sys.stderr)
+    final_snapshot()
+    return 0
+
+
 def _registry_listing() -> dict:
     """Machine-readable view of every scenario-addressable component."""
     return {
@@ -601,6 +735,13 @@ def _registry_listing() -> dict:
             }
             for config in paper_configurations()
         ],
+        "serve": {
+            "transports": ["tcp", "stdin"],
+            "ops": sorted(SERVE_OPS),
+            "snapshot_format": {"name": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION},
+            "default_predictor": "periodicity",
+            "routing": "crc32(key) % shards",
+        },
         "policies": POLICIES.describe(),
         "predictors": PREDICTORS.describe(),
         "machine_presets": MACHINE_PRESETS.describe(),
@@ -627,6 +768,14 @@ def _cmd_list(args) -> int:
     for entry in listing["engines"]:
         print(f"  {entry['name']}: {entry['description']}")
         print(f"    engages when: {entry['engages_when']}")
+    serve = listing["serve"]
+    print("\nserve (online prediction service):")
+    print(f"  transports: {', '.join(serve['transports'])}")
+    print(f"  ops: {', '.join(serve['ops'])}")
+    print(
+        f"  snapshot format: {serve['snapshot_format']['name']} "
+        f"v{serve['snapshot_format']['version']}"
+    )
     for title, key in (
         ("flow-control policies", "policies"),
         ("predictors", "predictors"),
@@ -648,6 +797,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "report": _cmd_report,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "list": _cmd_list,
 }
 

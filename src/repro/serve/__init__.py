@@ -1,0 +1,71 @@
+"""The online prediction service (``repro serve``).
+
+Everywhere else in this repo the paper's predictor runs *embedded in the
+simulator loop*; this package productises it as a standalone service at
+mass-concurrency scale: an asyncio ingestion front end (newline-delimited
+JSON over TCP or stdin, batched per-shard queues with backpressure) hashing
+each stream key onto in-process shards, each shard owning a memory-bounded
+LRU table of per-stream predictor state driving the existing
+:class:`repro.predictive.online.OnlineMessagePredictor` batch fast paths.
+Any predictor registered in :mod:`repro.predictive.registry` can be served
+via its spec string (``"periodicity:window=24,max_period=256"``).
+
+Layers (bottom-up, see ``docs/serving.md``):
+
+* :mod:`repro.serve.protocol` — the wire protocol: event-line parsing with
+  line-numbered :class:`ServeProtocolError`, response encoding;
+* :mod:`repro.serve.table` — the LRU stream table (eviction counter,
+  resident-bytes accounting);
+* :mod:`repro.serve.shard` — one shard: a table plus the predictor
+  observe/predict drive;
+* :mod:`repro.serve.snapshot` — the versioned, atomic on-disk shard
+  snapshot codec (``docs/formats.md``);
+* :mod:`repro.serve.service` — the transport-independent synchronous core
+  (shard routing, query handling, snapshot/restore of the whole service);
+* :mod:`repro.serve.server` — the asyncio TCP/stdin front end;
+* :mod:`repro.serve.client` — a small blocking client for examples, smoke
+  tests and scripts.
+
+The load-bearing invariant: feeding a per-receiver ``(sender, nbytes)``
+stream through the serve ingestion path yields **bit-identical** predictions
+to driving ``OnlineMessagePredictor`` directly (the service batches
+ingestion through ``observe_batch``, which is bit-equivalent to the
+sequential loop by the predictors' own contract).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    ServeEvent,
+    ServeProtocolError,
+    encode_event,
+    encode_response,
+    parse_event_line,
+)
+from repro.serve.service import ServeService
+from repro.serve.shard import Shard
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.serve.table import StreamEntry, StreamTable
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "ServeClient",
+    "ServeEvent",
+    "ServeProtocolError",
+    "ServeService",
+    "Shard",
+    "SnapshotError",
+    "StreamEntry",
+    "StreamTable",
+    "encode_event",
+    "encode_response",
+    "load_snapshot",
+    "parse_event_line",
+    "write_snapshot",
+]

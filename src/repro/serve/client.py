@@ -1,0 +1,132 @@
+"""A small blocking client for the serve wire protocol.
+
+Used by the examples, the CI smoke jobs, and anything scripting a running
+``repro serve`` instance.  Observes are written fire-and-forget (optionally
+buffered); query ops read exactly one response line each — the server
+guarantees per-connection request-order responses, so the pairing is
+positional, no request ids needed.
+
+::
+
+    with ServeClient.connect(port=7077) as client:
+        client.observe("sensor-3", sender=1, nbytes=4096)
+        client.flush()                       # barrier: all observes applied
+        response = client.predict("sensor-3")
+        print(response["predictions"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serve.protocol import encode_event
+
+__all__ = ["ServeClient", "ServeResponseError"]
+
+
+class ServeResponseError(RuntimeError):
+    """The server answered a query with an ``{"error": ...}`` response."""
+
+    def __init__(self, response: dict) -> None:
+        super().__init__(response.get("error", str(response)))
+        self.response = response
+
+
+class ServeClient:
+    """Blocking TCP client over one serve connection.
+
+    Construct via :meth:`connect`; usable as a context manager.  Observe
+    lines are buffered in userspace until ``autoflush`` bytes accumulate
+    (or a query forces a flush) — batching the syscalls, not the protocol.
+    """
+
+    def __init__(self, sock: socket.socket, autoflush: int = 64 * 1024) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._buffer: list[str] = []
+        self._buffered_bytes = 0
+        self._autoflush = int(autoflush)
+
+    @classmethod
+    def connect(
+        cls, host: str = "127.0.0.1", port: int = 0, *, timeout: float | None = 30.0
+    ) -> "ServeClient":
+        """Open a connection to a running server."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    # ------------------------------------------------------------------
+    def _send_line(self, line: str) -> None:
+        self._buffer.append(line + "\n")
+        self._buffered_bytes += len(line) + 1
+        if self._buffered_bytes >= self._autoflush:
+            self.flush_io()
+
+    def flush_io(self) -> None:
+        """Push buffered observe lines onto the socket (no protocol barrier)."""
+        if self._buffer:
+            self._sock.sendall("".join(self._buffer).encode("utf-8"))
+            self._buffer.clear()
+            self._buffered_bytes = 0
+
+    def _query(self, line: str) -> dict:
+        self._send_line(line)
+        self.flush_io()
+        raw = self._reader.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection mid-query")
+        response = json.loads(raw)
+        if "error" in response:
+            raise ServeResponseError(response)
+        return response
+
+    # ------------------------------------------------------------------
+    def observe(self, receiver, sender: int, nbytes: int) -> None:
+        """Feed one message into ``receiver``'s stream (fire-and-forget)."""
+        self._send_line(encode_event(receiver=receiver, sender=sender, nbytes=nbytes))
+
+    def send_raw(self, line: str) -> None:
+        """Send one pre-encoded event line verbatim (fire-and-forget)."""
+        self._send_line(line.rstrip("\n"))
+
+    def predict(self, receiver, horizon: int | None = None) -> dict:
+        """Next expected ``(sender, nbytes)`` pairs at ``receiver``."""
+        return self._query(encode_event(op="predict", receiver=receiver, horizon=horizon))
+
+    def expects(self, receiver, sender: int, nbytes: int | None = None) -> dict:
+        """Whether ``receiver`` expects a message from ``sender``."""
+        return self._query(
+            encode_event(op="expects", receiver=receiver, sender=sender, nbytes=nbytes)
+        )
+
+    def stats(self) -> dict:
+        """Service-wide counters (streams, evictions, resident bytes, ...)."""
+        return self._query(encode_event(op="stats"))
+
+    def flush(self) -> dict:
+        """Barrier: returns once every previously sent event is applied."""
+        return self._query(encode_event(op="flush"))
+
+    def snapshot(self, directory) -> dict:
+        """Ask the server to snapshot all shards into ``directory``."""
+        return self._query(encode_event(op="snapshot", dir=str(directory)))
+
+    def shutdown(self) -> dict:
+        """Stop the server (responds, then the listener closes)."""
+        return self._query(encode_event(op="shutdown"))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.flush_io()
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

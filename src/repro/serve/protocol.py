@@ -1,0 +1,170 @@
+"""The serve wire protocol: newline-delimited JSON events and responses.
+
+One event per line, each line one JSON object.  The ``op`` key selects the
+operation and defaults to ``"observe"`` (the overwhelmingly common case on
+the ingest path, so plain ``{"receiver": ..., "sender": ..., "nbytes": ...}``
+lines work verbatim — which is exactly the shape of a recorded trace's
+per-receiver records).
+
+Operations
+----------
+``observe``
+    ``receiver`` (int or string key), ``sender`` (int ≥ 0), ``nbytes``
+    (int ≥ 0).  Feeds one message into the receiver's stream state.  No
+    response (fire-and-forget; send a ``flush`` for a barrier).
+``predict``
+    ``receiver``, optional ``horizon`` (int ≥ 1).  Responds with the next
+    expected ``(sender, nbytes)`` pairs.
+``expects``
+    ``receiver``, ``sender``, optional ``nbytes``.  Responds with whether
+    the receiver predicts a message from that sender.
+``stats``
+    Service-wide counters (streams, observations, evictions, resident
+    bytes, per-shard breakdown).
+``flush``
+    Barrier: responds once every event enqueued before it has been applied.
+``snapshot``
+    ``dir`` (string).  Writes a full service snapshot (manifest + one file
+    per shard) and responds with what was written.
+``shutdown``
+    Stops a server after responding (service cores ignore it).
+
+Malformed lines raise :class:`ServeProtocolError` carrying the 1-based line
+number — same shape as :class:`repro.trace.import_dumpi.DumpiParseError`, so
+ingestion rejects garbage with a pointed ``line N: ...`` message instead of
+polluting stream state.  Servers turn the error into an ``{"error": ...}``
+response and keep serving.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import NamedTuple
+
+__all__ = [
+    "OPS",
+    "ServeEvent",
+    "ServeProtocolError",
+    "parse_event_line",
+    "encode_event",
+    "encode_response",
+]
+
+
+class ServeProtocolError(ValueError):
+    """A malformed serve event line (carries the 1-based line number)."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+class ServeEvent(NamedTuple):
+    """One parsed wire event (unused fields are ``None``)."""
+
+    op: str
+    receiver: str | None = None
+    sender: int | None = None
+    nbytes: int | None = None
+    horizon: int | None = None
+    dir: str | None = None
+
+
+#: op name -> (required keys, optional keys)
+OPS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "observe": (("receiver", "sender", "nbytes"), ()),
+    "predict": (("receiver",), ("horizon",)),
+    "expects": (("receiver", "sender"), ("nbytes",)),
+    "stats": ((), ()),
+    "flush": ((), ()),
+    "snapshot": (("dir",), ()),
+    "shutdown": ((), ()),
+}
+
+
+def _coerce_key(value, line_number: int) -> str:
+    """Canonicalise a stream key: ints and strings address the same table."""
+    if isinstance(value, bool):
+        raise ServeProtocolError(line_number, f"receiver must be an int or string, got {value!r}")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        if not value:
+            raise ServeProtocolError(line_number, "receiver key must not be empty")
+        return value
+    raise ServeProtocolError(line_number, f"receiver must be an int or string, got {value!r}")
+
+
+def _coerce_count(value, field: str, line_number: int, minimum: int = 0) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeProtocolError(line_number, f"{field} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ServeProtocolError(line_number, f"{field} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def parse_event_line(line: str, line_number: int = 1) -> ServeEvent:
+    """Parse one wire line into a :class:`ServeEvent` (validated).
+
+    Raises :class:`ServeProtocolError` with the given 1-based line number on
+    any syntax or schema violation.
+    """
+    text = line.strip()
+    if not text:
+        raise ServeProtocolError(line_number, "empty event line")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ServeProtocolError(line_number, f"invalid JSON: {error.msg}") from None
+    if not isinstance(payload, dict):
+        raise ServeProtocolError(
+            line_number, f"event must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.pop("op", "observe")
+    if op not in OPS:
+        raise ServeProtocolError(
+            line_number, f"unknown op {op!r}; known ops: {', '.join(sorted(OPS))}"
+        )
+    required, optional = OPS[op]
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise ServeProtocolError(line_number, f"op {op!r} requires {', '.join(missing)}")
+    unknown = [key for key in payload if key not in required and key not in optional]
+    if unknown:
+        allowed = ", ".join((*required, *optional)) or "(no keys)"
+        raise ServeProtocolError(
+            line_number,
+            f"op {op!r} does not take {', '.join(sorted(unknown))} (allowed: {allowed})",
+        )
+
+    fields: dict = {"op": op}
+    if "receiver" in payload:
+        fields["receiver"] = _coerce_key(payload["receiver"], line_number)
+    if "sender" in payload:
+        fields["sender"] = _coerce_count(payload["sender"], "sender", line_number)
+    if "nbytes" in payload:
+        fields["nbytes"] = _coerce_count(payload["nbytes"], "nbytes", line_number)
+    if "horizon" in payload:
+        fields["horizon"] = _coerce_count(payload["horizon"], "horizon", line_number, minimum=1)
+    if "dir" in payload:
+        directory = payload["dir"]
+        if not isinstance(directory, str) or not directory:
+            raise ServeProtocolError(
+                line_number, f"dir must be a non-empty string, got {directory!r}"
+            )
+        fields["dir"] = directory
+    return ServeEvent(**fields)
+
+
+def encode_event(**fields) -> str:
+    """Encode an event as one wire line (keys with ``None`` values dropped)."""
+    return json.dumps(
+        {key: value for key, value in fields.items() if value is not None},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def encode_response(response: dict) -> str:
+    """Encode a response object as one wire line (deterministic key order)."""
+    return json.dumps(response, sort_keys=True, separators=(",", ":"))

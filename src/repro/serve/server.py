@@ -1,0 +1,284 @@
+"""The asyncio ingestion front end of ``repro serve``.
+
+Wraps a :class:`repro.serve.service.ServeService` in an event loop:
+
+* **TCP transport** — newline-delimited JSON events per connection
+  (:class:`ServeServer`); responses go back in request order.
+* **stdin transport** — one-shot pipe mode (:func:`run_stdin`): events on
+  stdin, responses on stdout, exit at EOF.
+
+Ingestion is **batched with backpressure**: every shard owns a bounded
+``asyncio.Queue``; connection readers ``await put(...)`` (so a slow shard
+suspends exactly the connections feeding it — flow control for free), and a
+per-shard worker drains the queue in batches, coalescing consecutive
+same-stream observes into one ``observe_batch`` call.  Batching is
+invisible in the outputs: per-shard FIFO order is preserved and
+``observe_batch`` is bit-equivalent to the sequential loop, so the served
+predictions are bit-identical to an unbatched drive.
+
+Queries (``predict``/``expects``) ride the same per-shard queue as the
+observes, so a query sees every event the connection sent before it.
+Service-wide ops (``stats``/``flush``/``snapshot``/``shutdown``) barrier
+over *all* shard queues first.
+
+Malformed lines never kill a connection: the server answers with an
+``{"error": "line N: ...", "line": N}`` response (1-based per-connection
+line numbers, mirroring :class:`repro.trace.import_dumpi.DumpiParseError`)
+and keeps reading.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TextIO
+
+from repro.serve.protocol import (
+    ServeEvent,
+    ServeProtocolError,
+    encode_response,
+    parse_event_line,
+)
+from repro.serve.service import ServeService
+from repro.serve.snapshot import SnapshotError
+
+__all__ = ["ServeServer", "run_stdin"]
+
+#: Default maximum events buffered per shard queue (backpressure threshold).
+DEFAULT_QUEUE_DEPTH = 4096
+
+#: Default maximum events drained per worker wake-up.
+DEFAULT_BATCH_SIZE = 512
+
+
+class ServeServer:
+    """Asyncio TCP front end over a synchronous :class:`ServeService`.
+
+    Parameters
+    ----------
+    service:
+        The shard-owning core.
+    host, port:
+        Listen address; port 0 binds an ephemeral port (read the resolved
+        one from :attr:`port` after :meth:`start`).
+    queue_depth:
+        Per-shard queue bound — producers block once a shard is this far
+        behind (the backpressure knob).
+    batch_size:
+        Maximum events a shard worker drains per wake-up.
+    """
+
+    def __init__(
+        self,
+        service: ServeService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.queue_depth = queue_depth
+        self.batch_size = batch_size
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start one worker task per shard."""
+        self._queues = [
+            asyncio.Queue(maxsize=self.queue_depth) for _ in self.service.shards
+        ]
+        self._workers = [
+            asyncio.create_task(self._shard_worker(shard, queue))
+            for shard, queue in zip(self.service.shards, self._queues)
+        ]
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` event arrives, then drain and stop."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener, drain the shard queues, stop the workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._barrier()
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+
+    # ------------------------------------------------------------------
+    async def _shard_worker(self, shard, queue: asyncio.Queue) -> None:
+        """Drain one shard's queue: batch, coalesce, apply in FIFO order."""
+        run_key: str | None = None
+        senders: list[int] = []
+        sizes: list[int] = []
+
+        def flush() -> None:
+            nonlocal run_key
+            if run_key is not None:
+                shard.observe_batch(run_key, senders, sizes)
+                run_key = None
+                senders.clear()
+                sizes.clear()
+
+        while True:
+            batch = [await queue.get()]
+            while len(batch) < self.batch_size:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for item in batch:
+                kind = item[0]
+                if kind == "observe":
+                    _, key, sender, nbytes = item
+                    if key != run_key:
+                        flush()
+                        run_key = key
+                    senders.append(sender)
+                    sizes.append(nbytes)
+                    continue
+                flush()
+                if kind == "query":
+                    _, event, future = item
+                    if not future.done():
+                        try:
+                            future.set_result(self.service.handle(event))
+                        except Exception as error:  # pragma: no cover - defensive
+                            future.set_exception(error)
+                elif kind == "barrier":
+                    item[1].set()
+            flush()
+
+    async def _barrier(self) -> None:
+        """Resolve once every event currently enqueued has been applied."""
+        if not self._queues:
+            return
+        events = []
+        for queue in self._queues:
+            done = asyncio.Event()
+            await queue.put(("barrier", done))
+            events.append(done)
+        for done in events:
+            await done.wait()
+
+    # ------------------------------------------------------------------
+    async def _execute_global(self, event: ServeEvent) -> dict:
+        """Barrier over all shards, then run a service-wide op."""
+        await self._barrier()
+        try:
+            response = self.service.handle(event)
+        except (SnapshotError, OSError) as error:
+            return {"error": str(error), "op": event.op}
+        if event.op == "shutdown":
+            self._shutdown.set()
+        return response
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        pending: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_responses(pending, writer))
+        line_number = 0
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line_number += 1
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue  # blank keep-alive lines are not events
+                try:
+                    event = parse_event_line(line, line_number)
+                except ServeProtocolError as error:
+                    self.service.parse_errors += 1
+                    await pending.put(_resolved({"error": str(error), "line": line_number}))
+                    continue
+                if event.op == "observe":
+                    queue = self._queues[self.service.shard_index_for(event.receiver)]
+                    await queue.put(("observe", event.receiver, event.sender, event.nbytes))
+                elif event.op in ("predict", "expects"):
+                    future: asyncio.Future = asyncio.get_running_loop().create_future()
+                    queue = self._queues[self.service.shard_index_for(event.receiver)]
+                    await queue.put(("query", event, future))
+                    await pending.put(future)
+                else:  # stats / flush / snapshot / shutdown
+                    await pending.put(asyncio.create_task(self._execute_global(event)))
+                    if event.op == "shutdown":
+                        break
+        finally:
+            await pending.put(None)
+            try:
+                await writer_task
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):  # pragma: no cover - peer gone
+                    pass
+
+    @staticmethod
+    async def _write_responses(pending: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        """Emit responses strictly in request order (one task per connection)."""
+        while True:
+            item = await pending.get()
+            if item is None:
+                return
+            response = await item
+            writer.write((encode_response(response) + "\n").encode("utf-8"))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover - peer gone
+                return
+
+
+def _resolved(response: dict) -> asyncio.Future:
+    future: asyncio.Future = asyncio.get_running_loop().create_future()
+    future.set_result(response)
+    return future
+
+
+def run_stdin(
+    service: ServeService, in_stream: TextIO, out_stream: TextIO
+) -> int:
+    """One-shot pipe transport: events on ``in_stream``, responses out.
+
+    Blank lines are skipped; malformed lines are answered with a
+    line-numbered ``{"error": ...}`` response and ingestion continues.
+    Returns the number of rejected lines (callers may turn it into an exit
+    status).
+    """
+    rejected = 0
+    for line_number, line in enumerate(in_stream, start=1):
+        if not line.strip():
+            continue
+        try:
+            response = service.handle_line(line, line_number)
+        except ServeProtocolError as error:
+            rejected += 1
+            response = {"error": str(error), "line": line_number}
+        except (SnapshotError, OSError) as error:
+            response = {"error": str(error)}
+        if response is not None:
+            out_stream.write(encode_response(response) + "\n")
+            out_stream.flush()
+    return rejected

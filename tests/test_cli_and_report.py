@@ -105,6 +105,7 @@ class TestCLICommands:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "bt" in out and "sw.32" in out
+        assert "serve" in out and "repro-serve-snapshot" in out
 
     def test_run_and_save_traces(self, tmp_path, capsys):
         trace_file = tmp_path / "bt4.jsonl"
@@ -195,6 +196,12 @@ class TestCLICommands:
             "noiseless",
         }
         assert any(entry["name"] == "periodicity" for entry in listing["predictors"])
+        serve = listing["serve"]
+        assert serve["transports"] == ["tcp", "stdin"]
+        assert "observe" in serve["ops"] and "snapshot" in serve["ops"]
+        assert serve["snapshot_format"] == {"name": "repro-serve-snapshot", "version": 1}
+        assert serve["default_predictor"] == "periodicity"
+        assert serve["routing"] == "crc32(key) % shards"
 
 
 class TestCLIPredictTracesRoundTrip:
@@ -306,6 +313,7 @@ class TestBenchBaseline:
         assert default_output_for("dpd or predictor") == "BENCH_dpd.json"
         assert default_output_for("sim") == "BENCH_sim.json"
         assert default_output_for("trace") == "BENCH_trace.json"
+        assert default_output_for("bench_serve and not 1000000") == "BENCH_serve.json"
 
     def test_repo_artefacts_record_their_baselines(self):
         # Regeneration must never lose the before/after comparison: the
@@ -315,7 +323,7 @@ class TestBenchBaseline:
         import pathlib
 
         root = pathlib.Path(__file__).resolve().parents[1]
-        for name in ("BENCH_dpd.json", "BENCH_sim.json", "BENCH_trace.json"):
+        for name in ("BENCH_dpd.json", "BENCH_sim.json", "BENCH_trace.json", "BENCH_serve.json"):
             artefact = root / name
             if not artefact.is_file():  # pragma: no cover - fresh checkout
                 continue

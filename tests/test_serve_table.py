@@ -1,0 +1,183 @@
+"""Tests for the memory-bounded LRU stream table (repro.serve.table).
+
+The contract: deterministic least-recently-used eviction under either cap,
+an eviction counter that never resets, and resident-bytes accounting that
+tracks the summed per-stream state size — so a serve process's memory
+plateaus once a cap is reached, no matter how many distinct streams pass
+through.
+"""
+
+import pytest
+
+from repro.predictive.online import OnlineMessagePredictor
+from repro.predictive.state import state_nbytes
+from repro.serve.table import StreamEntry, StreamTable
+
+
+def make_table(**kwargs):
+    return StreamTable(lambda: OnlineMessagePredictor(nprocs=1, horizon=3), **kwargs)
+
+
+def feed(table, key, count=1):
+    entry = table.get(key, create=True)
+    for _ in range(count):
+        entry.predictor.observe(0, 1, 64)
+    table.note_observations(entry, count)
+    return entry
+
+
+class TestLRUOrder:
+    def test_get_touches_recency(self):
+        table = make_table()
+        for key in ("a", "b", "c"):
+            feed(table, key)
+        assert list(table.keys()) == ["a", "b", "c"]
+        table.get("a")  # a plain lookup is a touch
+        assert list(table.keys()) == ["b", "c", "a"]
+
+    def test_get_without_create_never_builds_state(self):
+        table = make_table()
+        assert table.get("ghost") is None
+        assert len(table) == 0
+        assert table.streams_created == 0
+
+    def test_pop_coldest_order(self):
+        table = make_table()
+        for key in ("a", "b", "c"):
+            feed(table, key)
+        table.get("a")
+        assert table.pop_coldest()[0] == "b"
+        assert table.pop_coldest()[0] == "c"
+        assert table.pop_coldest()[0] == "a"
+        assert table.pop_coldest() is None
+        assert table.evictions == 3
+
+
+class TestMaxStreams:
+    def test_eviction_is_lru_and_counted(self):
+        table = make_table(max_streams=2)
+        feed(table, "a")
+        feed(table, "b")
+        feed(table, "c")  # evicts a
+        assert list(table.keys()) == ["b", "c"]
+        assert table.evictions == 1
+        assert table.streams_created == 3
+        table.get("b")  # touch b so d evicts c
+        feed(table, "d")
+        assert list(table.keys()) == ["b", "d"]
+        assert table.evictions == 2
+
+    def test_evicted_stream_recreated_fresh(self):
+        table = make_table(max_streams=1)
+        feed(table, "a", count=10)
+        feed(table, "b")  # evicts a and its 10 observations
+        entry = table.get("a", create=True)
+        assert entry.observations == 0
+
+    def test_eviction_determinism(self):
+        # Same operation sequence -> same eviction victims, every time.
+        def run():
+            table = make_table(max_streams=3)
+            victims = []
+            before = set()
+            for i in range(20):
+                key = f"s{i % 7}"
+                feed(table, key)
+                now = set(table.keys())
+                victims.extend(sorted(before - now))
+                before = now
+            return victims, list(table.keys()), table.evictions
+
+        assert run() == run() == run()
+
+
+class TestResidentBytes:
+    def test_accounting_matches_entry_sizes(self):
+        table = make_table()
+        for key in ("a", "b", "c"):
+            feed(table, key)
+        expected = sum(entry.nbytes for _, entry in table.items())
+        assert table.resident_bytes == expected
+        assert expected >= 3 * 1000  # predictor state is a few KB per stream
+
+    def test_eviction_releases_bytes(self):
+        table = make_table()
+        feed(table, "a")
+        feed(table, "b")
+        before = table.resident_bytes
+        _, evicted = table.pop_coldest()
+        assert table.resident_bytes == before - evicted.nbytes
+
+    def test_max_bytes_plateau(self):
+        # Measure one stream's state size, cap the table at ~4 streams'
+        # worth, then pour 50 distinct streams through: residency plateaus.
+        probe = make_table()
+        feed(probe, "probe")
+        per_stream = probe.resident_bytes
+        table = make_table(max_bytes=per_stream * 4)
+        high_water = 0
+        for i in range(50):
+            feed(table, f"s{i}")
+            high_water = max(high_water, table.resident_bytes)
+        assert high_water <= per_stream * 4
+        assert len(table) <= 4
+        assert table.evictions >= 46
+
+    def test_max_bytes_keeps_at_least_one_stream(self):
+        table = make_table(max_bytes=1)  # absurdly small cap
+        feed(table, "a")
+        assert len(table) == 1  # the hot stream is never evicted from under us
+        feed(table, "b")
+        assert list(table.keys()) == ["b"]
+
+    def test_refresh_interval_refreshes_estimate(self):
+        table = make_table(refresh_interval=4)
+        entry = table.get("a", create=True)
+        entry.nbytes = 0  # pretend the estimate went stale
+        table.resident_bytes = 0
+        for _ in range(4):
+            entry.predictor.observe(0, 1, 64)
+        table.note_observations(entry, 4)
+        assert entry.nbytes == state_nbytes(entry.predictor)
+        assert table.resident_bytes == entry.nbytes
+
+
+class TestRestoredEntries:
+    def test_insert_restored_is_accounted_and_hot(self):
+        table = make_table()
+        feed(table, "a")
+        restored = StreamEntry(OnlineMessagePredictor(nprocs=1, horizon=3))
+        restored.refresh_nbytes()
+        table.insert_restored("z", restored)
+        assert list(table.keys()) == ["a", "z"]
+        assert table.resident_bytes == sum(e.nbytes for _, e in table.items())
+
+    def test_insert_restored_replaces_existing(self):
+        table = make_table()
+        feed(table, "a", count=5)
+        fresh = StreamEntry(OnlineMessagePredictor(nprocs=1, horizon=3))
+        fresh.refresh_nbytes()
+        table.insert_restored("a", fresh)
+        assert len(table) == 1
+        assert table.get("a").observations == 0
+        assert table.resident_bytes == fresh.nbytes
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_streams": 0}, {"max_bytes": 0}, {"refresh_interval": 0}],
+    )
+    def test_bad_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_table(**kwargs)
+
+    def test_stats_shape(self):
+        table = make_table(max_streams=8)
+        feed(table, "a")
+        stats = table.stats()
+        assert stats["streams"] == 1
+        assert stats["streams_created"] == 1
+        assert stats["evictions"] == 0
+        assert stats["max_streams"] == 8
+        assert stats["resident_bytes"] == stats["resident_bytes_per_stream"]
